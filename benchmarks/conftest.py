@@ -1,0 +1,16 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one table/figure of the paper in *quick*
+mode (reduced load points and windows — shapes survive, absolutes get
+noisier) and asserts the paper's qualitative claims on the result.  Run
+with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a whole-experiment benchmark exactly once (sims are seconds
+    to minutes; statistical rounds belong to micro-benchmarks only)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

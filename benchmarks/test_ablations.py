@@ -1,0 +1,139 @@
+"""Ablation benches for the design choices DESIGN.md §8 calls out.
+
+These go beyond the paper's figures: each isolates one Table I (or
+testbench) parameter and checks its performance effect has the expected
+sign, quantifying the design-space intuition §II describes.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.baseline.network import PacketMesh, PacketMeshConfig
+from repro.baseline.nic import PacketNic
+from repro.axi.transaction import Transfer
+from repro.noc.config import NocConfig
+from repro.noc.network import NocNetwork
+from repro.traffic.uniform import uniform_random
+
+WARMUP, WINDOW = 2_000, 8_000
+
+
+def saturation(cfg, burst=1000, read_fraction=0.5, seed=3):
+    net = NocNetwork(cfg)
+    uniform_random(net, load=1.0, max_burst_bytes=burst,
+                   read_fraction=read_fraction, seed=seed).install()
+    net.set_warmup(WARMUP)
+    net.run(WARMUP + WINDOW)
+    return net.aggregate_throughput_gib_s()
+
+
+def test_mot_improves_throughput(benchmark):
+    """§II: 'A higher max. number of outstanding transactions improves
+    performance' — MOT=1 vs MOT=8 on read-heavy traffic."""
+    def sweep():
+        # Small reads are round-trip dominated: exactly the regime where
+        # outstanding transactions hide memory latency (§II).
+        cfg = NocConfig.slim().with_(memory_latency=30)
+        shallow = saturation(cfg.with_(max_outstanding=1),
+                             burst=64, read_fraction=1.0)
+        deep = saturation(cfg.with_(max_outstanding=8),
+                          burst=64, read_fraction=1.0)
+        return shallow, deep
+    shallow, deep = run_once(benchmark, sweep)
+    assert deep > shallow * 1.1, (shallow, deep)
+
+
+def test_id_width_pressure(benchmark):
+    """A 1-bit ID space (2 remap entries per egress) throttles a 16-node
+    mesh versus the paper's IW=4."""
+    def sweep():
+        narrow = saturation(NocConfig.slim().with_(id_width=1))
+        wide = saturation(NocConfig.slim().with_(id_width=4))
+        return narrow, wide
+    narrow, wide = run_once(benchmark, sweep)
+    assert wide > narrow
+
+
+def test_memory_latency_sensitivity(benchmark):
+    """Deep memory latency hurts when MOT cannot cover it."""
+    def sweep():
+        cfg = NocConfig.slim().with_(max_outstanding=1)
+        fast = saturation(cfg.with_(memory_latency=0), read_fraction=1.0)
+        slow = saturation(cfg.with_(memory_latency=100), read_fraction=1.0)
+        return fast, slow
+    fast, slow = run_once(benchmark, sweep)
+    assert fast > slow * 1.2
+
+
+def test_dma_issue_overhead_dominates_small_bursts(benchmark):
+    """The small-burst regime is endpoint-bound: halving descriptor
+    overhead nearly doubles ≤4 B throughput but barely moves 64 KiB."""
+    def sweep():
+        base = NocConfig.slim()
+        small_slow = saturation(base, burst=4)
+        small_fast = saturation(base.with_(dma_issue_overhead=5), burst=4)
+        big_slow = saturation(base, burst=64000)
+        big_fast = saturation(base.with_(dma_issue_overhead=5), burst=64000)
+        return small_slow, small_fast, big_slow, big_fast
+    small_slow, small_fast, big_slow, big_fast = run_once(benchmark, sweep)
+    small_gain = small_fast / small_slow
+    big_gain = big_fast / big_slow
+    assert small_gain > 1.5
+    assert big_gain < small_gain
+
+
+def test_protocol_translation_tax(benchmark):
+    """The §I argument head-on: the same 100-transfer DMA stream through
+    (a) PATRONoC end-to-end AXI and (b) a packet NoC behind
+    packetising NICs at equal link width.  AXI must win."""
+    def run_pair():
+        # (a) PATRONoC slim.
+        net = NocNetwork(NocConfig.slim())
+        for src in range(16):
+            dst = (src + 5) % 16
+            net.dmas[src].submit(Transfer(
+                src=src, addr=net.addr_of(dst, 0), nbytes=4096,
+                is_read=False))
+        net.drain(max_cycles=500_000)
+        axi_cycles = net.sim.now
+        # (b) packet mesh with NICs, 32-bit flits like the slim NoC.
+        mesh = PacketMesh(PacketMeshConfig(n_vcs=4, buf_depth=32),
+                          injection_rate=0.0)
+        nics = [PacketNic(mesh, node=n) for n in range(16)]
+        for nic in nics:
+            mesh.sim.add(nic)
+        for src in range(16):
+            nics[src].submit(Transfer(src=src, addr=0, nbytes=4096,
+                                      is_read=False), (src + 5) % 16)
+        target = 16 * 4096
+        while mesh.bytes_received < target and mesh.sim.now < 300_000:
+            mesh.run(1_000)
+        assert mesh.bytes_received == target
+        return axi_cycles, mesh.sim.now
+
+    axi_cycles, mesh_cycles = run_once(benchmark, run_pair)
+    # End-to-end AXI moves the same workload in far fewer cycles than
+    # packetisation through NICs over a same-width link.
+    assert axi_cycles < mesh_cycles
+
+
+def test_hop_latency_affects_latency_not_bandwidth(benchmark):
+    """Register slices add latency per hop; saturation bandwidth of
+    streaming bursts is unaffected (pipelining)."""
+    def sweep():
+        lat1 = NocConfig.slim().with_(hop_latency=1)
+        lat4 = NocConfig.slim().with_(hop_latency=4)
+        return saturation(lat1, burst=64000), saturation(lat4, burst=64000)
+    thr1, thr4 = run_once(benchmark, sweep)
+    assert thr4 > 0.8 * thr1
+
+
+def test_full_vs_partial_connectivity_equivalent_on_mesh(benchmark):
+    """YX routing never uses the extra turns, so full connectivity buys
+    no mesh performance (only area) — Table I's 'Partial (default)'."""
+    def sweep():
+        partial = saturation(NocConfig.slim())
+        full = saturation(NocConfig.slim().with_(full_connectivity=True))
+        return partial, full
+    partial, full = run_once(benchmark, sweep)
+    assert full == pytest.approx(partial, rel=0.02)

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Fig. 8 (DNN workloads on slim and wide NoC).
+
+Asserts the paper's orderings: pipelined convolution (core-to-core)
+is the fastest workload on both NoCs, the wide NoC scales every
+workload up by roughly the DW ratio, and parallel convolution is
+bounded by the single shared-L2 port.
+"""
+
+from conftest import run_once
+
+from repro.eval.fig8 import run
+
+
+def test_fig8(benchmark):
+    result = run_once(benchmark, run, True)
+    slim = {row[0]: row[1] for row in result.sections[0].rows}
+    wide = {row[0]: row[1] for row in result.sections[1].rows}
+
+    for values in (slim, wide):
+        assert values["Pipelined Convolution"] > values["Parallelized Convolution"]
+        assert values["Pipelined Convolution"] > values["Distributed Training"]
+
+    # Wide NoC benefits every workload substantially (paper: ~16x).
+    for key in slim:
+        assert wide[key] > 4 * slim[key], f"{key} did not scale with DW"
+
+    # Parallel conv is L2-port bound on slim: it cannot exceed the
+    # duplex bandwidth of one DW=32 endpoint (8 GB/s ≈ 7.45 GiB/s).
+    assert slim["Parallelized Convolution"] < 7.5

@@ -1,0 +1,52 @@
+"""Micro-benchmarks of the simulator itself (cycles/second).
+
+These are the only benches where statistical rounds make sense; they
+guard against performance regressions in the hot XP/endpoint paths.
+"""
+
+from repro.baseline.network import PacketMesh, PacketMeshConfig
+from repro.noc.config import NocConfig
+from repro.noc.network import NocNetwork
+from repro.traffic.uniform import uniform_random
+
+CYCLES = 2_000
+
+
+def test_patronoc_cycles_per_second(benchmark):
+    def setup():
+        net = NocNetwork(NocConfig.slim())
+        uniform_random(net, load=0.5, max_burst_bytes=1000,
+                       seed=0).install()
+        net.run(500)  # fill the pipeline so we measure steady state
+        return (net,), {}
+
+    def run(net):
+        net.run(CYCLES)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    benchmark.extra_info["cycles_per_round"] = CYCLES
+
+
+def test_baseline_cycles_per_second(benchmark):
+    def setup():
+        mesh = PacketMesh(PacketMeshConfig(n_vcs=4, buf_depth=32),
+                          injection_rate=0.3, seed=0)
+        mesh.run(500)
+        return (mesh,), {}
+
+    def run(mesh):
+        mesh.run(CYCLES)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    benchmark.extra_info["cycles_per_round"] = CYCLES
+
+
+def test_idle_network_overhead(benchmark):
+    """Stepping an idle 4×4 network (lower bound of per-cycle cost)."""
+    def setup():
+        return (NocNetwork(NocConfig.slim()),), {}
+
+    def run(net):
+        net.run(CYCLES)
+
+    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)

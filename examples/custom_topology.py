@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Other regular topologies from the same XP building blocks.
+
+§II claims "any regular topology, such as a torus, butterfly, or ring,
+can also be modularly built using our building blocks" — this example
+builds a ring and a torus from the exact same crosspoint generator and
+runs neighbour traffic on them.  (Dimension-ordered routing on wrapped
+rings can deadlock at saturating loads without extra VCs — the RTL
+shares this property — so the loads here are moderate; see the
+Torus2D docstring.)
+"""
+
+from repro import NocConfig, NocNetwork, Transfer, Torus2D, ring
+
+
+def neighbour_traffic(net: NocNetwork, n: int, transfers: int = 40,
+                      nbytes: int = 2048) -> float:
+    """Each tile writes to its successor endpoint; returns GiB/s."""
+    for k in range(transfers):
+        src = k % n
+        dst = (src + 1) % n
+        net.dmas[src].submit(Transfer(
+            src=src, addr=net.addr_of(dst, 64 * k), nbytes=nbytes,
+            is_read=False))
+    net.drain(max_cycles=2_000_000)
+    return net.total_bytes() / net.sim.now * 1e9 / 2**30
+
+
+def main() -> None:
+    # An 8-node ring (1x8 wrapped).
+    cfg = NocConfig(rows=1, cols=8, data_width=64)
+    net = NocNetwork(cfg, topology=ring(8))
+    thr = neighbour_traffic(net, 8)
+    print(f"8-node ring   (DW=64): neighbour traffic {thr:6.2f} GiB/s "
+          f"in {net.sim.now} cycles")
+
+    # A 4x4 torus: same XPs, wraparound links, shortest-path routing.
+    cfg = NocConfig(rows=4, cols=4, data_width=64)
+    net = NocNetwork(cfg, topology=Torus2D(4, 4))
+    thr = neighbour_traffic(net, 16)
+    print(f"4x4 torus     (DW=64): neighbour traffic {thr:6.2f} GiB/s "
+          f"in {net.sim.now} cycles")
+
+    # The torus halves worst-case hop distance vs the mesh.
+    mesh_net = NocNetwork(cfg)  # default Mesh2D
+    print(f"hop 0→15: mesh {mesh_net.topology.hop_distance(0, 15)} hops, "
+          f"torus {Torus2D(4, 4).hop_distance(0, 15)} hops")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Where does the traffic flow?  Per-link utilization heatmaps for the
+three synthetic patterns — the per-link view behind Fig. 6's
+bisection-level utilization numbers.
+
+All-global access piles onto the links around the single slave XP while
+the rest of the mesh idles; max-1-hop spreads load across every edge.
+"""
+
+from repro import NocConfig
+from repro.eval.heatmap import LinkHeatmap
+from repro.traffic import PATTERNS, build_synthetic_network, synthetic_traffic
+
+
+def main() -> None:
+    cfg = NocConfig.slim()
+    for pattern in PATTERNS.values():
+        net, _slaves = build_synthetic_network(cfg, pattern)
+        synthetic_traffic(net, pattern, load=1.0, max_burst_bytes=10_000,
+                          seed=3).install()
+        net.run(3_000)  # warm up
+        heat = LinkHeatmap(net)
+        heat.open_window()
+        net.run(10_000)
+        print(f"=== {pattern.title} "
+              f"({net.aggregate_throughput_gib_s():.1f} GiB/s dirty est.) ===")
+        print(heat.render())
+        top = ", ".join(f"{name} {100 * u:.0f}%"
+                        for name, u in heat.busiest(3))
+        print(f"hottest links: {top}\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""PATRONoC reproduction: a fully AXI-compliant NoC for multi-accelerator
+DNN platforms (Jain et al., DAC 2023), with the paper's complete
+evaluation stack — cycle-level AXI mesh simulator, classical packet-NoC
+baseline, synthetic and DNN traffic generators, and calibrated
+area/power models.
+
+Quickstart::
+
+    from repro import NocConfig, NocNetwork
+    from repro.traffic import UniformRandomTraffic
+
+    net = NocNetwork(NocConfig.slim())
+    traffic = UniformRandomTraffic(net, load=0.1, max_burst_bytes=1000)
+    traffic.install()
+    net.set_warmup(1000)
+    net.run(10_000)
+    print(f"{net.aggregate_throughput_gib_s():.2f} GiB/s")
+"""
+
+from repro.axi import MemoryMap, Region, Transfer
+from repro.noc import (
+    Mesh2D,
+    NocConfig,
+    NocNetwork,
+    TileSpec,
+    Torus2D,
+    bisection_gbit_s,
+    bisection_gib_s,
+    ring,
+    utilization,
+)
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Mesh2D",
+    "MemoryMap",
+    "NocConfig",
+    "NocNetwork",
+    "Region",
+    "Simulator",
+    "TileSpec",
+    "Torus2D",
+    "Transfer",
+    "bisection_gbit_s",
+    "bisection_gib_s",
+    "ring",
+    "utilization",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""``axi_cut``: a register slice on all five channels.
+
+Inside the mesh every hop already carries one cycle of register latency
+(the link FIFOs), so this standalone component exists for composing
+pipelines outside the mesh — e.g. deep endpoint pipelines in tests and
+the ablation benches — and for demonstrating the Table I "Register Slice"
+option explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.axi.link import AxiLink
+from repro.sim.kernel import Component
+
+
+class AxiCut(Component):
+    """Forwards every channel between two links, one beat per cycle each."""
+
+    def __init__(self, name: str, upstream: AxiLink, downstream: AxiLink):
+        self.name = name
+        self.upstream = upstream
+        self.downstream = downstream
+
+    def step(self, now: int) -> None:
+        up, down = self.upstream, self.downstream
+        # Requests flow upstream -> downstream.
+        for src, dst in ((up.aw, down.aw), (up.w, down.w), (up.ar, down.ar)):
+            beat = src.peek(now)
+            if beat is not None and dst.can_push():
+                src.pop(now)
+                dst.push(beat, now)
+        # Responses flow downstream -> upstream.
+        for src, dst in ((down.b, up.b), (down.r, up.r)):
+            beat = src.peek(now)
+            if beat is not None and dst.can_push():
+                src.pop(now)
+                dst.push(beat, now)

@@ -1,0 +1,55 @@
+"""``axi_err_slv``: terminates requests with DECERR.
+
+The crossbar embeds this behaviour for unroutable addresses; the
+standalone component backs holes in a memory map when a design wants an
+explicit error endpoint (and gives tests a visible DECERR generator).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.axi.beats import BBeat, RBeat
+from repro.axi.link import AxiLink
+from repro.axi.types import Resp
+from repro.sim.kernel import Component
+
+
+class ErrorSlave(Component):
+    """Consumes all requests on ``link`` and answers DECERR."""
+
+    def __init__(self, name: str, link: AxiLink):
+        self.name = name
+        self.link = link
+        self._pending_b: deque[int] = deque()  # ids awaiting W-last
+        self._open_writes: deque[int] = deque()  # ids whose W data is due
+        self._pending_r: deque[list] = deque()  # [id, beats_left]
+        self.writes_rejected = 0
+        self.reads_rejected = 0
+
+    def step(self, now: int) -> None:
+        link = self.link
+        aw = link.aw.peek(now)
+        if aw is not None:
+            link.aw.pop(now)
+            self._open_writes.append(aw.id)
+        w = link.w.peek(now)
+        if w is not None and self._open_writes:
+            link.w.pop(now)
+            if w.last:
+                self._pending_b.append(self._open_writes.popleft())
+        ar = link.ar.peek(now)
+        if ar is not None:
+            link.ar.pop(now)
+            self._pending_r.append([ar.id, ar.beats])
+        if self._pending_b and link.b.can_push():
+            link.b.push(BBeat(self._pending_b.popleft(), Resp.DECERR), now)
+            self.writes_rejected += 1
+        if self._pending_r and link.r.can_push():
+            entry = self._pending_r[0]
+            entry[1] -= 1
+            last = entry[1] == 0
+            link.r.push(RBeat(entry[0], last, 0, Resp.DECERR), now)
+            if last:
+                self._pending_r.popleft()
+                self.reads_rejected += 1

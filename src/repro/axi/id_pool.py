@@ -1,0 +1,85 @@
+"""Order-preserving AXI ID remapping (the ``axi_id_remap`` algorithm).
+
+Every XP egress rewrites transaction IDs into its own fixed-width ID
+space so that XP ports stay isomorphic ("ID remappers to ensure
+isomorphic XP ports", §II).  Two properties must hold:
+
+* **Uniqueness** — concurrent transactions from different sources never
+  share a remapped ID (responses must be routable back).
+* **Order preservation** — AXI requires same-ID transactions to stay
+  ordered, so while a (source port, original ID) pair has transactions in
+  flight, new transactions from the same pair *reuse the same remapped
+  ID* (and therefore stay ordered downstream) instead of taking a fresh
+  one.
+
+When the pool of ``2**id_width`` IDs is exhausted the remapper refuses to
+allocate, which backpressures the AW/AR arbiter — exactly the stall the
+RTL exhibits, and one of the reasons Table I's ID width matters for
+performance.
+"""
+
+from __future__ import annotations
+
+
+class IdRemapper:
+    """Tracks in-flight remapped IDs for one XP egress and one direction."""
+
+    __slots__ = ("n_ids", "_free", "_by_key", "_table", "max_in_flight")
+
+    def __init__(self, id_width: int):
+        if id_width < 1:
+            raise ValueError(f"id_width must be >= 1, got {id_width}")
+        self.n_ids = 1 << id_width
+        self._free = list(range(self.n_ids - 1, -1, -1))  # pop() yields 0 first
+        self._by_key: dict[tuple[int, int], int] = {}
+        self._table: dict[int, list] = {}  # rid -> [src_port, orig_id, refcount]
+        self.max_in_flight = 0  # high-water mark, for area/ablation reporting
+
+    def in_flight(self) -> int:
+        """Number of remapped IDs currently allocated."""
+        return len(self._table)
+
+    def can_acquire(self, src_port: int, orig_id: int) -> bool:
+        """True if :meth:`acquire` would succeed for this key."""
+        return (src_port, orig_id) in self._by_key or bool(self._free)
+
+    def acquire(self, src_port: int, orig_id: int) -> int | None:
+        """Allocate (or reuse) a remapped ID for one more transaction.
+
+        Returns None when the pool is exhausted and the key has nothing
+        in flight — the caller must stall.
+        """
+        key = (src_port, orig_id)
+        rid = self._by_key.get(key)
+        if rid is not None:
+            self._table[rid][2] += 1
+            return rid
+        if not self._free:
+            return None
+        rid = self._free.pop()
+        self._by_key[key] = rid
+        self._table[rid] = [src_port, orig_id, 1]
+        self.max_in_flight = max(self.max_in_flight, len(self._table))
+        return rid
+
+    def lookup(self, rid: int) -> tuple[int, int]:
+        """(src_port, orig_id) for an in-flight remapped ID.
+
+        Raises KeyError for unknown IDs — a response the network never
+        requested is a modelling bug worth failing loudly on.
+        """
+        entry = self._table[rid]
+        return entry[0], entry[1]
+
+    def release(self, rid: int) -> tuple[int, int]:
+        """Retire one transaction on ``rid``; free the ID at refcount 0."""
+        entry = self._table[rid]
+        entry[2] -= 1
+        if entry[2] < 0:
+            raise AssertionError(f"double release of remapped id {rid}")
+        src_port, orig_id = entry[0], entry[1]
+        if entry[2] == 0:
+            del self._table[rid]
+            del self._by_key[(src_port, orig_id)]
+            self._free.append(rid)
+        return src_port, orig_id

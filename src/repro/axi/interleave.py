@@ -1,0 +1,121 @@
+"""Interleaved (banked) address maps.
+
+The synthetic pattern b models "architectures that have a distributed
+shared L2/L1" (§IV-B).  Real distributed L2s interleave consecutive
+address blocks across banks so that any streaming access spreads over
+all banks instead of hammering one.  :class:`InterleavedMap` provides
+that: a single address window whose blocks map round-robin onto N bank
+endpoints.
+
+It quacks like :class:`~repro.axi.memory_map.MemoryMap` (``resolve`` /
+``region_of`` / ``regions``), so networks accept it unchanged, with one
+honest restriction: a burst must not straddle an interleave-block
+boundary (banks are distinct AXI endpoints and a single AXI burst cannot
+address two slaves).  DMA engines already split at 4 KiB pages, so a
+block size that divides 4 KiB — the default — makes every burst legal.
+"""
+
+from __future__ import annotations
+
+from repro.axi.memory_map import Region
+from repro.axi.types import BOUNDARY_4K
+
+
+class InterleavedMap:
+    """One address window interleaved across ``banks`` endpoints.
+
+    Parameters
+    ----------
+    base:
+        Start of the shared window.
+    bank_endpoints:
+        Endpoint indices of the banks, in interleave order.
+    bank_bytes:
+        Capacity per bank; the window spans ``banks * bank_bytes``.
+    block_bytes:
+        Interleave granularity; must divide the 4 KiB AXI page so bursts
+        never straddle banks.
+    """
+
+    def __init__(self, base: int, bank_endpoints: list[int],
+                 bank_bytes: int, block_bytes: int = 4096):
+        if not bank_endpoints:
+            raise ValueError("need at least one bank")
+        if len(set(bank_endpoints)) != len(bank_endpoints):
+            raise ValueError("bank endpoints must be distinct")
+        if block_bytes <= 0 or BOUNDARY_4K % block_bytes:
+            raise ValueError(
+                f"block_bytes must divide the 4 KiB AXI page, got {block_bytes}")
+        if bank_bytes <= 0 or bank_bytes % block_bytes:
+            raise ValueError("bank_bytes must be a multiple of block_bytes")
+        self.base = base
+        self.banks = list(bank_endpoints)
+        self.bank_bytes = bank_bytes
+        self.block_bytes = block_bytes
+        self.size = bank_bytes * len(self.banks)
+        self._regions = tuple(
+            Region(base, self.size, ep) for ep in self.banks)
+
+    # -- MemoryMap protocol ------------------------------------------------
+    @property
+    def regions(self) -> tuple[Region, ...]:
+        """All banks share the window (used only for reporting)."""
+        return self._regions
+
+    def resolve(self, addr: int) -> int | None:
+        offset = addr - self.base
+        if not 0 <= offset < self.size:
+            return None
+        block = offset // self.block_bytes
+        return self.banks[block % len(self.banks)]
+
+    def region_of(self, endpoint: int) -> Region:
+        if endpoint not in self.banks:
+            raise KeyError(f"endpoint {endpoint} is not a bank")
+        return Region(self.base, self.size, endpoint)
+
+    def endpoints(self) -> tuple[int, ...]:
+        return tuple(self.banks)
+
+
+class CompositeMap:
+    """Orders several maps (plain regions and interleaved windows) into
+    one resolver — the full address space of a banked-L2 platform."""
+
+    def __init__(self, maps: list):
+        if not maps:
+            raise ValueError("need at least one map")
+        self.maps = list(maps)
+        spans = []
+        for m in self.maps:
+            if isinstance(m, InterleavedMap):
+                spans.append((m.base, m.base + m.size))
+            else:
+                for region in m.regions:
+                    spans.append((region.base, region.end))
+        spans.sort()
+        for (a0, a1), (b0, _b1) in zip(spans, spans[1:]):
+            if b0 < a1:
+                raise ValueError(
+                    f"overlapping windows at {b0:#x} (< {a1:#x})")
+
+    def resolve(self, addr: int) -> int | None:
+        for m in self.maps:
+            endpoint = m.resolve(addr)
+            if endpoint is not None:
+                return endpoint
+        return None
+
+    def region_of(self, endpoint: int) -> Region:
+        for m in self.maps:
+            try:
+                return m.region_of(endpoint)
+            except KeyError:
+                continue
+        raise KeyError(f"endpoint {endpoint} not in any map")
+
+    def endpoints(self) -> tuple[int, ...]:
+        out: list[int] = []
+        for m in self.maps:
+            out.extend(m.endpoints())
+        return tuple(out)

@@ -1,0 +1,59 @@
+"""Channel monitors: per-link utilization without touching the datapath.
+
+The FIFOs keep lifetime push/pop counters, so a monitor only needs to
+snapshot them at window boundaries.  Used by the evaluation harness to
+report per-link utilization, and by tests to assert conservation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.axi.link import CHANNELS, AxiLink
+
+
+@dataclass
+class ChannelSnapshot:
+    """Push/pop counts per channel at one instant."""
+
+    pushed: dict[str, int]
+    popped: dict[str, int]
+
+
+def snapshot(link: AxiLink) -> ChannelSnapshot:
+    chans = dict(zip(CHANNELS, link.channels()))
+    return ChannelSnapshot(
+        pushed={name: ch.pushed for name, ch in chans.items()},
+        popped={name: ch.popped for name, ch in chans.items()},
+    )
+
+
+class LinkMonitor:
+    """Measures beats/cycle per channel of one link over a window."""
+
+    def __init__(self, link: AxiLink, name: str = ""):
+        self.link = link
+        self.name = name or link.name
+        self._start: ChannelSnapshot | None = None
+        self._start_cycle = 0
+
+    def open_window(self, now: int) -> None:
+        self._start = snapshot(self.link)
+        self._start_cycle = now
+
+    def utilization(self, now: int) -> dict[str, float]:
+        """Beats per cycle per channel since :meth:`open_window`."""
+        if self._start is None:
+            raise RuntimeError("open_window() was never called")
+        window = now - self._start_cycle
+        if window <= 0:
+            return {name: 0.0 for name in CHANNELS}
+        end = snapshot(self.link)
+        return {
+            name: (end.popped[name] - self._start.popped[name]) / window
+            for name in CHANNELS
+        }
+
+    def in_flight(self) -> int:
+        """Beats currently occupying any channel FIFO of the link."""
+        return sum(len(ch) for ch in self.link.channels())

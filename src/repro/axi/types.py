@@ -1,0 +1,79 @@
+"""AXI4 protocol constants and parameter validation.
+
+Only the protocol features that shape NoC performance are modelled (see
+DESIGN.md §5); the constants here are the real AXI4 rules that the
+transaction splitter and the building blocks enforce.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+#: An INCR burst may carry at most 256 beats (AXI4 AxLEN is 8 bits).
+MAX_BURST_BEATS = 256
+
+#: A burst must not cross a 4 KiB address boundary.
+BOUNDARY_4K = 4096
+
+#: Data widths supported by the PATRONoC generator (Table I), in bits.
+MIN_DATA_WIDTH = 8
+MAX_DATA_WIDTH = 1024
+
+#: Address widths supported (Table I): 32-bit or 64-bit architectures.
+VALID_ADDR_WIDTHS = (32, 64)
+
+#: ID width range (Table I).
+MIN_ID_WIDTH = 1
+MAX_ID_WIDTH = 16
+
+#: Max outstanding transaction range (Table I).
+MIN_MOT = 1
+MAX_MOT = 128
+
+
+class Resp(IntEnum):
+    """AXI response codes (the modelled subset)."""
+
+    OKAY = 0
+    SLVERR = 2
+    DECERR = 3
+
+
+class BurstType(IntEnum):
+    """AXI burst types; the NoC traffic uses INCR exclusively."""
+
+    FIXED = 0
+    INCR = 1
+    WRAP = 2
+
+
+def validate_data_width(bits: int) -> int:
+    """Check a data width in bits against Table I; return bytes per beat."""
+    if not MIN_DATA_WIDTH <= bits <= MAX_DATA_WIDTH:
+        raise ValueError(
+            f"data width {bits} outside Table I range "
+            f"[{MIN_DATA_WIDTH}, {MAX_DATA_WIDTH}]"
+        )
+    if bits % 8 or bits & (bits - 1):
+        raise ValueError(f"data width must be a power-of-two byte count, got {bits}")
+    return bits // 8
+
+
+def validate_addr_width(bits: int) -> int:
+    if bits not in VALID_ADDR_WIDTHS:
+        raise ValueError(f"address width must be one of {VALID_ADDR_WIDTHS}, got {bits}")
+    return bits
+
+
+def validate_id_width(bits: int) -> int:
+    if not MIN_ID_WIDTH <= bits <= MAX_ID_WIDTH:
+        raise ValueError(
+            f"ID width {bits} outside Table I range [{MIN_ID_WIDTH}, {MAX_ID_WIDTH}]"
+        )
+    return bits
+
+
+def validate_mot(mot: int) -> int:
+    if not MIN_MOT <= mot <= MAX_MOT:
+        raise ValueError(f"MOT {mot} outside Table I range [{MIN_MOT}, {MAX_MOT}]")
+    return mot

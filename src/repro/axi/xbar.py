@@ -1,0 +1,482 @@
+"""The configurable AXI crossbar (XBAR) — PATRONoC's routing element.
+
+This is a behavioural model of the pulp-platform ``axi_xbar`` extended
+with per-egress ID remapping, i.e. exactly the XP building block of
+Fig. 1 (bottom).  One class serves every use:
+
+* ``n_in = n_out = 1`` … a register slice,
+* ``1 × N`` … a demux, ``N × 1`` … a mux,
+* fully connected ``N × M`` … a single-stage crossbar interconnect,
+* partially connected 3–5 port instances … mesh crosspoints (XPs).
+
+The protocol rules modelled here are the ones that dominate NoC
+performance (DESIGN.md §5):
+
+* **AW/AR arbitration** — round-robin per egress, one grant per cycle.
+* **ID remapping** — every granted request gets an egress-local ID from
+  an :class:`~repro.axi.id_pool.IdRemapper`; responses are routed back by
+  table lookup and restored to the original ID.  Pool exhaustion stalls
+  the arbiter.
+* **Demux same-ID rule** — a request whose (ingress, ID) pair has
+  transactions in flight towards a *different* egress stalls until they
+  drain (AXI ordering would otherwise be violated).
+* **W-channel locking** — W beats cross the switch in the order their AWs
+  were granted at each egress, and an egress's W mux stays locked to one
+  ingress until the burst's last beat.  This serialisation is what makes
+  many small write bursts expensive on any AXI fabric.
+* **Error termination** — requests that decode to no egress are consumed
+  and answered with DECERR, the ``axi_err_slv`` default port of the RTL.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable
+
+from repro.axi.beats import AddrBeat, BBeat, RBeat
+from repro.axi.id_pool import IdRemapper
+from repro.axi.link import AxiLink
+from repro.axi.types import Resp
+from repro.sim.kernel import Component
+from repro.sim.stats import CounterSet
+
+#: Egress sentinel for "no route: terminate with DECERR".
+ERROR_PORT = -1
+
+RouteFn = Callable[[AddrBeat, int], int | None]
+
+
+class ConnectivityError(RuntimeError):
+    """The routing function produced a turn the XBAR is not wired for."""
+
+
+class AxiCrossbar(Component):
+    """An ``n_in × n_out`` AXI crossbar with ID remapping.
+
+    Parameters
+    ----------
+    name:
+        Instance name (used in assertions and monitors).
+    n_in / n_out:
+        Number of slave (request-ingress) / master (request-egress) ports.
+    route:
+        ``route(addr_beat, in_port) -> out_port | None``.  None (or
+        :data:`ERROR_PORT`) terminates the request with DECERR.
+    id_width:
+        Egress ID width in bits; each egress owns ``2**id_width`` remap
+        entries per direction (read/write).
+    connectivity:
+        Optional iterable of allowed ``(in_port, out_port)`` pairs; the
+        Table I "Partial" option.  None means fully connected.  A route
+        through a missing connection raises :class:`ConnectivityError` —
+        routing and wiring must agree by construction.
+    w_order_depth:
+        Depth of the per-egress W grant-order queue (how many write
+        bursts may be granted ahead of their data).
+    max_outstanding:
+        Optional per-egress, per-direction cap on in-flight transactions
+        (Table I MOT for the fabric blocks); None = limited only by the
+        ID pool.
+    priorities:
+        Optional per-ingress arbitration priorities (the AXI QoS
+        analogue): among simultaneously requesting ingresses, the
+        highest priority wins; round-robin breaks ties.  None (default)
+        is plain round-robin.
+    """
+
+    def __init__(self, name: str, n_in: int, n_out: int, route: RouteFn, *,
+                 id_width: int, connectivity: Iterable[tuple[int, int]] | None = None,
+                 w_order_depth: int = 8, max_outstanding: int | None = None,
+                 err_depth: int = 4, counters: CounterSet | None = None,
+                 priorities: list[int] | None = None):
+        if n_in < 1 or n_out < 1:
+            raise ValueError(f"crossbar needs >=1 port per side, got {n_in}x{n_out}")
+        self.name = name
+        self.n_in = n_in
+        self.n_out = n_out
+        self.route = route
+        self.w_order_depth = w_order_depth
+        self.max_outstanding = max_outstanding
+        self.err_depth = err_depth
+        self.counters = counters if counters is not None else CounterSet()
+        if priorities is not None and len(priorities) != n_in:
+            raise ValueError(
+                f"priorities must have one entry per ingress "
+                f"({n_in}), got {len(priorities)}")
+        self.priorities = priorities
+
+        self.in_links: list[AxiLink | None] = [None] * n_in
+        self.out_links: list[AxiLink | None] = [None] * n_out
+
+        self._allowed: frozenset[tuple[int, int]] | None = (
+            None if connectivity is None else frozenset(connectivity))
+
+        # Per-egress state.
+        self._wr_remap = [IdRemapper(id_width) for _ in range(n_out)]
+        self._rd_remap = [IdRemapper(id_width) for _ in range(n_out)]
+        self._wr_inflight = [0] * n_out
+        self._rd_inflight = [0] * n_out
+        self._w_order: list[deque] = [deque() for _ in range(n_out)]  # [in, beats_left]
+        self._aw_ptr = [0] * n_out
+        self._ar_ptr = [0] * n_out
+
+        # Per-ingress state.
+        self._wr_dest: list[dict[int, list]] = [dict() for _ in range(n_in)]
+        self._rd_dest: list[dict[int, list]] = [dict() for _ in range(n_in)]
+        self._w_route: list[deque] = [deque() for _ in range(n_in)]  # [out, oid]
+        self._err_b: list[deque] = [deque() for _ in range(n_in)]  # oid
+        self._err_r: list[deque] = [deque() for _ in range(n_in)]  # [oid, beats_left]
+
+        self._resp_rot = 0
+        # Hot-path caches, rebuilt lazily after wiring changes.
+        self._in_ports: list[int] | None = None
+        self._out_ports: list[int] | None = None
+        self._err_pending = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def connect_in(self, port: int, link: AxiLink) -> AxiLink:
+        """Attach ``link`` as request-ingress ``port`` (we are its slave)."""
+        if self.in_links[port] is not None:
+            raise ValueError(f"{self.name}: in port {port} already connected")
+        self.in_links[port] = link
+        self._in_ports = None
+        return link
+
+    def connect_out(self, port: int, link: AxiLink) -> AxiLink:
+        """Attach ``link`` as request-egress ``port`` (we are its master)."""
+        if self.out_links[port] is not None:
+            raise ValueError(f"{self.name}: out port {port} already connected")
+        self.out_links[port] = link
+        self._out_ports = None
+        return link
+
+    def _refresh_port_lists(self) -> None:
+        self._in_ports = [i for i, l in enumerate(self.in_links) if l is not None]
+        self._out_ports = [j for j, l in enumerate(self.out_links) if l is not None]
+
+    def idle(self) -> bool:
+        """True when no transaction state is held inside this crossbar."""
+        return (not any(self._w_order)
+                and not any(self._w_route)
+                and not any(self._err_b) and not any(self._err_r)
+                and all(r.in_flight() == 0 for r in self._wr_remap)
+                and all(r.in_flight() == 0 for r in self._rd_remap))
+
+    # ------------------------------------------------------------------
+    # per-cycle behaviour
+    # ------------------------------------------------------------------
+    # The bodies below reach into TimedFifo internals (``_q`` holds
+    # ``(ready_at, item)`` pairs) instead of calling peek()/pop(): a 4×4
+    # mesh makes ~1.5 M channel probes per 4 k cycles and the function
+    # call overhead dominated the profile.  The semantics are identical
+    # to peek/pop and the FIFO unit tests pin them down.
+    def step(self, now: int) -> None:
+        if self._in_ports is None or self._out_ports is None:
+            self._refresh_port_lists()
+        b_used: set[int] = set()
+        r_used: set[int] = set()
+        self._forward_b(now, b_used)
+        self._forward_r(now, r_used)
+        if self._err_pending:
+            self._error_responses(now, b_used, r_used)
+        self._move_w(now)
+        self._arbitrate_aw(now)
+        self._arbitrate_ar(now)
+        self._resp_rot += 1
+
+    # -- responses ------------------------------------------------------
+    def _forward_b(self, now: int, b_used: set[int]) -> None:
+        out_ports = self._out_ports
+        n = len(out_ports)
+        start = self._resp_rot % n
+        for k in range(n):
+            j = out_ports[(start + k) % n]
+            src = self.out_links[j].b
+            q = src._q
+            if not q or q[0][0] > now:
+                continue
+            beat = q[0][1]
+            i, oid = self._wr_remap[j].lookup(beat.id)
+            if i in b_used:
+                continue
+            dst = self.in_links[i].b
+            if len(dst._q) >= dst.capacity:
+                continue
+            src.pop(now)
+            self._wr_remap[j].release(beat.id)
+            self._wr_inflight[j] -= 1
+            _retire_dest(self._wr_dest[i], oid, j)
+            dst.push(beat.with_id(oid), now)
+            b_used.add(i)
+
+    def _forward_r(self, now: int, r_used: set[int]) -> None:
+        out_ports = self._out_ports
+        n = len(out_ports)
+        start = self._resp_rot % n
+        for k in range(n):
+            j = out_ports[(start + k) % n]
+            src = self.out_links[j].r
+            q = src._q
+            if not q or q[0][0] > now:
+                continue
+            beat = q[0][1]
+            i, oid = self._rd_remap[j].lookup(beat.id)
+            if i in r_used:
+                continue
+            dst = self.in_links[i].r
+            if len(dst._q) >= dst.capacity:
+                continue
+            src.pop(now)
+            if beat.last:
+                self._rd_remap[j].release(beat.id)
+                self._rd_inflight[j] -= 1
+                _retire_dest(self._rd_dest[i], oid, j)
+            dst.push(beat.with_id(oid), now)
+            r_used.add(i)
+
+    def _error_responses(self, now: int, b_used: set[int],
+                         r_used: set[int]) -> None:
+        for i in self._in_ports:
+            in_link = self.in_links[i]
+            if i not in b_used and self._err_b[i] and in_link.b.can_push():
+                oid = self._err_b[i].popleft()
+                self._err_pending -= 1
+                _retire_dest(self._wr_dest[i], oid, ERROR_PORT)
+                in_link.b.push(BBeat(oid, Resp.DECERR), now)
+                self.counters.bump("decerr_b")
+            if i not in r_used and self._err_r[i] and in_link.r.can_push():
+                entry = self._err_r[i][0]
+                entry[1] -= 1
+                last = entry[1] == 0
+                in_link.r.push(RBeat(entry[0], last, 0, Resp.DECERR), now)
+                if last:
+                    self._err_r[i].popleft()
+                    self._err_pending -= 1
+                    _retire_dest(self._rd_dest[i], entry[0], ERROR_PORT)
+                    self.counters.bump("decerr_r")
+
+    # -- write data -----------------------------------------------------
+    def _move_w(self, now: int) -> None:
+        w_used: set[int] = set()
+        for j in self._out_ports:
+            order = self._w_order[j]
+            if not order:
+                continue
+            entry = order[0]
+            i = entry[0]
+            if i in w_used:
+                continue
+            route_q = self._w_route[i]
+            if not route_q or route_q[0][0] != j:
+                continue  # this ingress owes an older burst elsewhere
+            src = self.in_links[i].w
+            q = src._q
+            if not q or q[0][0] > now:
+                continue
+            beat = q[0][1]
+            dst = self.out_links[j].w
+            if len(dst._q) >= dst.capacity:
+                continue
+            src.pop(now)
+            dst.push(beat, now)
+            w_used.add(i)
+            entry[1] -= 1
+            if beat.last:
+                if entry[1] != 0:
+                    raise AssertionError(
+                        f"{self.name}: W burst length mismatch at egress {j} "
+                        f"({entry[1]} beats unaccounted)")
+                order.popleft()
+                route_q.popleft()
+        # Error-bound W bursts are sunk at the ingress (no egress involved).
+        if not self._err_pending and not any(
+                rq and rq[0][0] == ERROR_PORT for rq in self._w_route):
+            return
+        for i in self._in_ports:
+            if i in w_used:
+                continue
+            route_q = self._w_route[i]
+            if not route_q or route_q[0][0] != ERROR_PORT:
+                continue
+            in_link = self.in_links[i]
+            beat = in_link.w.peek(now)
+            if beat is None:
+                continue
+            in_link.w.pop(now)
+            if beat.last:
+                entry = route_q.popleft()
+                self._err_b[i].append(entry[1])
+                self._err_pending += 1
+
+    # -- address channels ------------------------------------------------
+    def _decode(self, beat: AddrBeat, i: int) -> int:
+        j = self.route(beat, i)
+        if j is None:
+            return ERROR_PORT
+        if j == ERROR_PORT:
+            return ERROR_PORT
+        if not 0 <= j < self.n_out or self.out_links[j] is None:
+            raise ConnectivityError(
+                f"{self.name}: route sent {beat!r} to nonexistent egress {j}")
+        if self._allowed is not None and (i, j) not in self._allowed:
+            raise ConnectivityError(
+                f"{self.name}: route used disallowed turn {i}->{j} for {beat!r}")
+        return j
+
+    def _arbitrate_aw(self, now: int) -> None:
+        requests: dict[int, list[int]] = {}
+        for i in self._in_ports:
+            # W-coupled AW forwarding: at most one granted write burst per
+            # ingress until its W data has fully moved through this XP.
+            # This is the wormhole-style atomicity that makes YX routing
+            # deadlock-free on the write path; without it, AWs racing
+            # ahead of their W data create cyclic wait-for dependencies
+            # around mesh rings (see tests/test_deadlock.py).
+            if self._w_route[i]:
+                continue
+            in_link = self.in_links[i]
+            q = in_link.aw._q
+            if not q or q[0][0] > now:
+                continue
+            beat = q[0][1]
+            j = self._decode(beat, i)
+            if j == ERROR_PORT:
+                dest = self._wr_dest[i].get(beat.id)
+                if dest is not None and dest[0] != ERROR_PORT:
+                    continue  # same-ID ordering across destinations
+                if len(self._err_b[i]) + len(self._w_route[i]) >= self.err_depth:
+                    continue
+                in_link.aw.pop(now)
+                _bump_dest(self._wr_dest[i], beat.id, ERROR_PORT)
+                self._w_route[i].append([ERROR_PORT, beat.id])
+                self.counters.bump("aw_unmapped")
+                continue
+            dest = self._wr_dest[i].get(beat.id)
+            if dest is not None and dest[0] != j:
+                self.counters.bump("aw_same_id_stall")
+                continue
+            requests.setdefault(j, []).append(i)
+        for j, candidates in requests.items():
+            out_link = self.out_links[j]
+            if not out_link.aw.can_push():
+                continue
+            if len(self._w_order[j]) >= self.w_order_depth:
+                self.counters.bump("aw_order_full")
+                continue
+            if (self.max_outstanding is not None
+                    and self._wr_inflight[j] >= self.max_outstanding):
+                self.counters.bump("aw_mot_stall")
+                continue
+            i = self._pick(candidates, self._aw_ptr[j])
+            in_link = self.in_links[i]
+            beat = in_link.aw.peek(now)
+            rid = self._wr_remap[j].acquire(i, beat.id)
+            if rid is None:
+                self.counters.bump("aw_id_stall")
+                continue
+            in_link.aw.pop(now)
+            out_link.aw.push(beat.with_id(rid), now)
+            self._wr_inflight[j] += 1
+            _bump_dest(self._wr_dest[i], beat.id, j)
+            self._w_route[i].append([j, None])
+            self._w_order[j].append([i, beat.beats])
+            self._aw_ptr[j] = i + 1 if i + 1 < self.n_in else 0
+
+    def _arbitrate_ar(self, now: int) -> None:
+        requests: dict[int, list[int]] = {}
+        for i in self._in_ports:
+            in_link = self.in_links[i]
+            q = in_link.ar._q
+            if not q or q[0][0] > now:
+                continue
+            beat = q[0][1]
+            j = self._decode(beat, i)
+            if j == ERROR_PORT:
+                dest = self._rd_dest[i].get(beat.id)
+                if dest is not None and dest[0] != ERROR_PORT:
+                    continue
+                if len(self._err_r[i]) >= self.err_depth:
+                    continue
+                in_link.ar.pop(now)
+                _bump_dest(self._rd_dest[i], beat.id, ERROR_PORT)
+                self._err_r[i].append([beat.id, beat.beats])
+                self._err_pending += 1
+                self.counters.bump("ar_unmapped")
+                continue
+            dest = self._rd_dest[i].get(beat.id)
+            if dest is not None and dest[0] != j:
+                self.counters.bump("ar_same_id_stall")
+                continue
+            requests.setdefault(j, []).append(i)
+        for j, candidates in requests.items():
+            out_link = self.out_links[j]
+            if not out_link.ar.can_push():
+                continue
+            if (self.max_outstanding is not None
+                    and self._rd_inflight[j] >= self.max_outstanding):
+                self.counters.bump("ar_mot_stall")
+                continue
+            i = self._pick(candidates, self._ar_ptr[j])
+            in_link = self.in_links[i]
+            beat = in_link.ar.peek(now)
+            rid = self._rd_remap[j].acquire(i, beat.id)
+            if rid is None:
+                self.counters.bump("ar_id_stall")
+                continue
+            in_link.ar.pop(now)
+            out_link.ar.push(beat.with_id(rid), now)
+            self._rd_inflight[j] += 1
+            _bump_dest(self._rd_dest[i], beat.id, j)
+            self._ar_ptr[j] = i + 1 if i + 1 < self.n_in else 0
+
+
+    def _pick(self, candidates: list[int], ptr: int) -> int:
+        """Arbitrate among requesting ingresses: QoS priority first (if
+        configured), round-robin from ``ptr`` within the winners."""
+        if self.priorities is not None and len(candidates) > 1:
+            best = max(self.priorities[i] for i in candidates)
+            candidates = [i for i in candidates
+                          if self.priorities[i] == best]
+        return _round_robin_pick(candidates, ptr)
+
+
+def _round_robin_pick(candidates: list[int], ptr: int) -> int:
+    """First candidate at or after ``ptr``, wrapping (candidates sorted)."""
+    for i in candidates:
+        if i >= ptr:
+            return i
+    return candidates[0]
+
+
+def _bump_dest(dest_map: dict[int, list], oid: int, out: int) -> None:
+    entry = dest_map.get(oid)
+    if entry is None:
+        dest_map[oid] = [out, 1]
+    else:
+        entry[1] += 1
+
+
+def _retire_dest(dest_map: dict[int, list], oid: int, out: int) -> None:
+    entry = dest_map[oid]
+    if entry[0] != out:
+        raise AssertionError(
+            f"response for id {oid} returned from egress {out}, "
+            f"but transactions were sent to {entry[0]}")
+    entry[1] -= 1
+    if entry[1] == 0:
+        del dest_map[oid]
+
+
+def make_mux(name: str, n_in: int, *, id_width: int,
+             **kwargs) -> AxiCrossbar:
+    """An ``n_in × 1`` crossbar: the ``axi_mux`` building block."""
+    return AxiCrossbar(name, n_in, 1, lambda beat, i: 0,
+                       id_width=id_width, **kwargs)
+
+
+def make_demux(name: str, n_out: int, route: RouteFn, *, id_width: int,
+               **kwargs) -> AxiCrossbar:
+    """A ``1 × n_out`` crossbar: the ``axi_demux`` building block."""
+    return AxiCrossbar(name, 1, n_out, route, id_width=id_width, **kwargs)

@@ -1,0 +1,191 @@
+"""The baseline packet-switched mesh (the paper's Noxim stand-in).
+
+A grid of :class:`~repro.baseline.router.Router` objects with XY
+dimension-ordered routing, per-node Poisson packet injection, and the
+Noxim measurement conventions:
+
+* *injection rate* is offered flits per cycle per node,
+* *throughput* is received flits per cycle per node × flit bytes — the
+  per-node average convention behind the paper's 1.6/2.25 GiB/s curves
+  (DESIGN.md §6 explains the unit analysis); the aggregate convention is
+  also reported for transparency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.baseline.flit import Flit, Packet, make_flits
+from repro.baseline.router import N_PORTS, P_E, P_LOCAL, P_N, P_S, P_W, Router
+from repro.noc.topology import OPPOSITE, Mesh2D
+from repro.sim.kernel import Component, Simulator
+from repro.sim.rng import spawn_rngs
+from repro.sim.stats import GIB, LatencyStats
+
+
+class PacketMeshConfig:
+    """Baseline NoC parameters (Noxim's knobs used in Fig. 4)."""
+
+    def __init__(self, rows: int = 4, cols: int = 4, n_vcs: int = 1,
+                 buf_depth: int = 4, flit_bytes: int = 4,
+                 packet_flits: int = 8, freq_hz: float = 1e9):
+        if flit_bytes < 1:
+            raise ValueError("flit_bytes must be >= 1")
+        if packet_flits < 1:
+            raise ValueError("packet_flits must be >= 1")
+        self.rows = rows
+        self.cols = cols
+        self.n_vcs = n_vcs
+        self.buf_depth = buf_depth
+        self.flit_bytes = flit_bytes
+        self.packet_flits = packet_flits
+        self.freq_hz = freq_hz
+
+    @property
+    def n_nodes(self) -> int:
+        return self.rows * self.cols
+
+    def label(self) -> str:
+        return f"VC={self.n_vcs}, Buf={self.buf_depth} Flits"
+
+
+class PacketMesh(Component):
+    """A runnable baseline mesh with built-in uniform random injection."""
+
+    def __init__(self, cfg: PacketMeshConfig, injection_rate: float = 0.0,
+                 seed: int | None = None):
+        if injection_rate < 0:
+            raise ValueError("injection rate must be >= 0")
+        self.cfg = cfg
+        self.topology = Mesh2D(cfg.rows, cfg.cols)
+        self.sim = Simulator(cfg.freq_hz)
+        self.routers = [Router(n, cfg.n_vcs, cfg.buf_depth)
+                        for n in range(cfg.n_nodes)]
+        for src, out_port, dst, in_port in self.topology.directed_links():
+            self.routers[src].connect(out_port, self.routers[dst], in_port)
+        self.injection_rate = injection_rate
+        self._rngs = spawn_rngs(seed, cfg.n_nodes)
+        self._next_arrival = [
+            rng.exponential(cfg.packet_flits / injection_rate)
+            if injection_rate > 0 else float("inf")
+            for rng in self._rngs
+        ]
+        #: Source queues (packets waiting to start injecting), per node.
+        self._source_q: list[deque] = [deque() for _ in range(cfg.n_nodes)]
+        #: Flits of the packet currently injecting, per node.
+        self._inject_q: list[deque] = [deque() for _ in range(cfg.n_nodes)]
+        self._pid = 0
+        self.warmup = 0
+        self.flits_received = 0
+        self.flits_received_measured = 0
+        self.packets_received = 0
+        self.flits_offered = 0
+        #: Payload bytes by packet id, registered by NICs (AXI-bridged mode).
+        self._payloads: dict[int, int] = {}
+        self.bytes_received = 0
+        self.bytes_received_measured = 0
+        self.latency = LatencyStats("baseline")
+        self.sim.add(self)
+        self._source_cap = 64  # packets queued per node before pausing
+
+    # ------------------------------------------------------------------
+    def _route(self, node: int, dst: int) -> int:
+        """Noxim's default XY routing: resolve X first, then Y."""
+        cx, cy = self.topology.coords(node)
+        dx, dy = self.topology.coords(dst)
+        if cx != dx:
+            return P_E if dx > cx else P_W
+        if cy != dy:
+            return P_S if dy > cy else P_N
+        return P_LOCAL
+
+    def _eject(self, flit: Flit, now: int) -> None:
+        self.flits_received += 1
+        if now >= self.warmup:
+            self.flits_received_measured += 1
+        if flit.is_tail:
+            self.packets_received += 1
+            self.latency.add(now - flit.packet.created)
+            nbytes = self._payloads.pop(flit.packet.pid, 0)
+            if nbytes:
+                self.bytes_received += nbytes
+                if now >= self.warmup:
+                    self.bytes_received_measured += nbytes
+
+    def register_payload(self, pid: int, nbytes: int) -> None:
+        """Associate useful payload bytes with a packet (NIC-driven mode)."""
+        self._payloads[pid] = nbytes
+
+    def payload_gib_s_aggregate(self, now: int | None = None) -> float:
+        """Aggregate useful-payload throughput in NIC-driven mode."""
+        end = self.sim.now if now is None else now
+        window = end - self.warmup
+        if window <= 0:
+            return 0.0
+        return self.bytes_received_measured / window * self.cfg.freq_hz / GIB
+
+    def set_warmup(self, cycle: int) -> None:
+        self.warmup = cycle
+
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> None:
+        cfg = self.cfg
+        n_nodes = cfg.n_nodes
+        # 1. Generate new packets (Poisson per node, uniform destinations).
+        if self.injection_rate > 0:
+            for node in range(n_nodes):
+                while (self._next_arrival[node] <= now
+                       and len(self._source_q[node]) < self._source_cap):
+                    rng = self._rngs[node]
+                    dst = int(rng.integers(n_nodes - 1))
+                    if dst >= node:
+                        dst += 1
+                    packet = Packet(node, dst, cfg.packet_flits, now, self._pid)
+                    self._pid += 1
+                    self._source_q[node].append(packet)
+                    self.flits_offered += cfg.packet_flits
+                    self._next_arrival[node] += rng.exponential(
+                        cfg.packet_flits / self.injection_rate)
+        # 2. Feed injection: one flit per node per cycle into the local port.
+        for node in range(n_nodes):
+            inject = self._inject_q[node]
+            if not inject and self._source_q[node]:
+                inject.extend(make_flits(self._source_q[node].popleft()))
+            if inject:
+                router = self.routers[node]
+                # VC 0 is the injection VC (Noxim default for sources).
+                if router.buffer_space(P_LOCAL, 0) > 0:
+                    router.accept(P_LOCAL, 0, inject.popleft(), now)
+        # 3. Step every router.
+        route = self._route
+        eject = self._eject
+        for router in self.routers:
+            router.step(now, route, eject)
+
+    # ------------------------------------------------------------------
+    # Noxim-convention metrics
+    # ------------------------------------------------------------------
+    def throughput_flits_per_cycle_node(self, now: int | None = None) -> float:
+        end = self.sim.now if now is None else now
+        window = end - self.warmup
+        if window <= 0:
+            return 0.0
+        return self.flits_received_measured / window / self.cfg.n_nodes
+
+    def throughput_gib_s_node(self, now: int | None = None) -> float:
+        """Per-node average throughput — the paper's plotted convention."""
+        return (self.throughput_flits_per_cycle_node(now)
+                * self.cfg.flit_bytes * self.cfg.freq_hz / GIB)
+
+    def throughput_gib_s_aggregate(self, now: int | None = None) -> float:
+        """16-node aggregate (for transparency; not what Fig. 4 plots)."""
+        return self.throughput_gib_s_node(now) * self.cfg.n_nodes
+
+    def run(self, cycles: int) -> int:
+        return self.sim.run(cycles)
+
+    def in_flight(self) -> int:
+        return (sum(r.occupancy() for r in self.routers)
+                + sum(len(q) for q in self._inject_q))

@@ -1,0 +1,164 @@
+"""Input-buffered wormhole router with virtual channels — the
+microarchitecture class Noxim simulates (the paper's Fig. 4 baseline).
+
+Model: combined route-compute / VC-allocation / switch-allocation in one
+cycle; one flit leaves per output port per cycle and one flit per input
+port per cycle; hop latency is one cycle (arrival stamps prevent a flit
+from traversing two routers in the same cycle).  Flow control is
+buffer-space backpressure per (port, VC), which is credit flow control
+with instantaneous credit return — the standard simulator simplification
+that preserves the buffer-depth and VC-count effects Fig. 4 sweeps
+((VC=1, buf=4) vs (VC=4, buf=32)).
+
+Wormhole semantics: a head flit allocates one downstream VC; the packet
+holds it until the tail passes; body flits follow the head's route.
+With XY dimension-ordered routing the channel dependency graph is
+acyclic, so the baseline is deadlock-free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.baseline.flit import Flit
+
+#: Port indices (N/E/S/W match the mesh convention; LOCAL injects/ejects).
+P_N, P_E, P_S, P_W, P_LOCAL = 0, 1, 2, 3, 4
+N_PORTS = 5
+
+
+class _VcState:
+    """Per-input-VC bookkeeping: the in-progress packet's switch state."""
+
+    __slots__ = ("out_port", "out_vc")
+
+    def __init__(self) -> None:
+        self.out_port: int | None = None
+        self.out_vc: int | None = None
+
+    def clear(self) -> None:
+        self.out_port = None
+        self.out_vc = None
+
+
+class Router:
+    """One 5-port VC wormhole router."""
+
+    def __init__(self, node: int, n_vcs: int, buf_depth: int):
+        if n_vcs < 1:
+            raise ValueError(f"need >= 1 VC, got {n_vcs}")
+        if buf_depth < 1:
+            raise ValueError(f"need >= 1 flit of buffering, got {buf_depth}")
+        self.node = node
+        self.n_vcs = n_vcs
+        self.buf_depth = buf_depth
+        # buffers[port][vc] -> deque of (arrived_cycle, flit)
+        self.buffers: list[list[deque]] = [
+            [deque() for _ in range(n_vcs)] for _ in range(N_PORTS)]
+        self.vc_state: list[list[_VcState]] = [
+            [_VcState() for _ in range(n_vcs)] for _ in range(N_PORTS)]
+        self.neighbors: list["Router | None"] = [None] * N_PORTS
+        self.neighbor_in_port: list[int] = [0] * N_PORTS
+        # Ownership of the *downstream* VC by our (in_port, in_vc).
+        self.vc_owner: list[list[tuple[int, int] | None]] = [
+            [None] * n_vcs for _ in range(N_PORTS)]
+        self._sa_ptr = [0] * N_PORTS
+        self.flits_routed = 0
+
+    # ------------------------------------------------------------------
+    def connect(self, out_port: int, neighbor: "Router", in_port: int) -> None:
+        self.neighbors[out_port] = neighbor
+        self.neighbor_in_port[out_port] = in_port
+
+    def buffer_space(self, port: int, vc: int) -> int:
+        return self.buf_depth - len(self.buffers[port][vc])
+
+    def accept(self, port: int, vc: int, flit: Flit, now: int) -> None:
+        """Deliver a flit into an input buffer (visible next cycle)."""
+        if len(self.buffers[port][vc]) >= self.buf_depth:
+            raise OverflowError(
+                f"router {self.node}: buffer overrun on port {port} vc {vc}")
+        self.buffers[port][vc].append((now, flit))
+
+    # ------------------------------------------------------------------
+    def step(self, now: int, route_fn, eject_fn) -> None:
+        """One cycle of allocation and switch traversal.
+
+        ``route_fn(node, dst) -> out_port`` supplies the routing decision;
+        ``eject_fn(flit, now)`` consumes flits that reached the local port.
+        """
+        n_vcs = self.n_vcs
+        total = N_PORTS * n_vcs
+        used_inputs: set[int] = set()
+        for out_port in range(N_PORTS):
+            start = self._sa_ptr[out_port]
+            for k in range(total):
+                idx = (start + k) % total
+                in_port, in_vc = divmod(idx, n_vcs)
+                if in_port in used_inputs:
+                    continue
+                buf = self.buffers[in_port][in_vc]
+                if not buf:
+                    continue
+                arrived, flit = buf[0]
+                if arrived >= now:
+                    continue  # only one hop per cycle
+                state = self.vc_state[in_port][in_vc]
+                if state.out_port is None:
+                    if not flit.is_head:
+                        raise AssertionError(
+                            f"router {self.node}: body flit with no route "
+                            f"state on port {in_port} vc {in_vc}")
+                    route = (P_LOCAL if flit.packet.dst == self.node
+                             else route_fn(self.node, flit.packet.dst))
+                    if route != out_port:
+                        continue
+                    if out_port == P_LOCAL:
+                        state.out_port = P_LOCAL
+                        state.out_vc = 0
+                    else:
+                        out_vc = self._find_free_vc(out_port)
+                        if out_vc is None:
+                            continue
+                        state.out_port = out_port
+                        state.out_vc = out_vc
+                        self.vc_owner[out_port][out_vc] = (in_port, in_vc)
+                elif state.out_port != out_port:
+                    continue
+                if out_port == P_LOCAL:
+                    buf.popleft()
+                    eject_fn(flit, now)
+                else:
+                    out_vc = state.out_vc
+                    neighbor = self.neighbors[out_port]
+                    nb_port = self.neighbor_in_port[out_port]
+                    if neighbor.buffer_space(nb_port, out_vc) <= 0:
+                        continue
+                    buf.popleft()
+                    neighbor.accept(nb_port, out_vc, flit, now)
+                self.flits_routed += 1
+                used_inputs.add(in_port)
+                if flit.is_tail:
+                    if state.out_port != P_LOCAL:
+                        self.vc_owner[state.out_port][state.out_vc] = None
+                    state.clear()
+                self._sa_ptr[out_port] = (idx + 1) % total
+                break
+            else:
+                self._sa_ptr[out_port] = (start + 1) % total
+
+    def _find_free_vc(self, out_port: int) -> int | None:
+        """A downstream VC not owned by any packet and with buffer space."""
+        neighbor = self.neighbors[out_port]
+        if neighbor is None:
+            raise AssertionError(
+                f"router {self.node}: route to unconnected port {out_port}")
+        nb_port = self.neighbor_in_port[out_port]
+        owners = self.vc_owner[out_port]
+        for vc in range(self.n_vcs):
+            if owners[vc] is None and neighbor.buffer_space(nb_port, vc) > 0:
+                return vc
+        return None
+
+    def occupancy(self) -> int:
+        return sum(len(b) for bufs in self.buffers for b in bufs)

@@ -1,0 +1,92 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    patronoc list
+    patronoc run fig4 [--quick] [--csv results/]
+    patronoc run all --quick
+    patronoc info AXI_32_512_4 --rows 4 --cols 4 --mot 8
+    python -m repro run fig8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.eval.experiments import EXPERIMENTS, run_experiment
+from repro.eval.report import render_text, save_csv
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="patronoc",
+        description="PATRONoC (DAC 2023) reproduction harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runp = sub.add_parser("run", help="run one experiment (or 'all')")
+    runp.add_argument("experiment",
+                      choices=sorted(EXPERIMENTS) + ["all"],
+                      help="which table/figure to regenerate")
+    runp.add_argument("--quick", action="store_true",
+                      help="reduced windows/points for a fast pass")
+    runp.add_argument("--csv", metavar="DIR", default=None,
+                      help="also dump each section as CSV into DIR")
+    infop = sub.add_parser(
+        "info", help="area/power/bandwidth of one configuration")
+    infop.add_argument("label", help="configuration label, e.g. AXI_32_64_4")
+    infop.add_argument("--rows", type=int, default=4)
+    infop.add_argument("--cols", type=int, default=4)
+    infop.add_argument("--mot", type=int, default=8,
+                       help="max outstanding transactions")
+    return parser
+
+
+def _info(args) -> int:
+    from repro.models.area import mesh_area_kge
+    from repro.models.power import mesh_power_mw, platform_power_fraction
+    from repro.models.tech import kge_to_mm2
+    from repro.noc.bandwidth import bisection_gbit_s, bisection_gib_s
+    from repro.noc.config import NocConfig
+
+    cfg = NocConfig.from_label(args.label, rows=args.rows, cols=args.cols,
+                               max_outstanding=args.mot)
+    area = mesh_area_kge(cfg)
+    print(f"{cfg.label} as a {cfg.rows}x{cfg.cols} mesh, MOT={args.mot}")
+    print(f"  area              : {area:8.1f} kGE  "
+          f"({kge_to_mm2(area):.3f} mm^2 of cells in 22FDX)")
+    print(f"  power @ 1 GHz     : {mesh_power_mw(cfg):8.1f} mW  "
+          f"({100 * platform_power_fraction(cfg):.1f}% of a 100 mW/accel "
+          f"platform)")
+    print(f"  bisection (fig2)  : {bisection_gbit_s(cfg):8.1f} Gbit/s "
+          f"(unidirectional)")
+    print(f"  bisection (sec.IV): {bisection_gib_s(cfg):8.1f} GiB/s "
+          f"(bidirectional)")
+    print(f"  beat payload      : {cfg.beat_bytes:8d} B/cycle/link")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for exp_id, (desc, _fn) in EXPERIMENTS.items():
+            print(f"{exp_id:8s} {desc}")
+        return 0
+    if args.command == "info":
+        return _info(args)
+    targets = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for exp_id in targets:
+        start = time.time()
+        result = run_experiment(exp_id, quick=args.quick)
+        print(render_text(result))
+        print(f"[{exp_id} completed in {time.time() - start:.1f}s]")
+        if args.csv:
+            for path in save_csv(result, args.csv):
+                print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,240 @@
+"""The DMA engine master — the paper's traffic endpoint ("each master is
+a DMA engine", §IV).
+
+The engine consumes :class:`~repro.axi.transaction.Transfer` commands,
+splits them into AXI-compliant bursts (4 KiB boundaries, ≤256 beats,
+bus-width alignment), and drives the five channels with the flow-control
+behaviour that matters for throughput:
+
+* at most one burst issued per cycle, gated by the free-ID pool
+  (``2**id_width`` per direction) and the MOT limit;
+* W beats stream one per cycle in AW order;
+* a configurable per-burst issue overhead models descriptor processing
+  (address generation, AXI handshake setup) between consecutive bursts;
+* responses are always sunk (one B and one R per cycle), so the
+  response network can never back up into deadlock.
+
+Completion callbacks on transfers make the engine usable both open-loop
+(Poisson sources) and closed-loop (dependent DNN command streams).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.axi.beats import AddrBeat, WBeat
+from repro.axi.link import AxiLink
+from repro.axi.memory_map import MemoryMap
+from repro.axi.transaction import Burst, Transfer, split_transfer
+from repro.axi.types import Resp
+from repro.sim.kernel import Component
+from repro.sim.stats import CounterSet, LatencyStats, ThroughputMeter
+
+
+class _WEmitter:
+    """Streams the W beats of one burst, reusing the middle-beat object."""
+
+    __slots__ = ("issued", "beats", "first", "mid", "last", "tag", "_mid_beat")
+
+    def __init__(self, burst: Burst, beat_bytes: int, tag: tuple):
+        offset = burst.addr % beat_bytes
+        self.issued = 0
+        self.beats = burst.beats
+        if burst.beats == 1:
+            self.first = burst.nbytes
+            self.mid = 0
+            self.last = 0
+        else:
+            self.first = min(beat_bytes - offset, burst.nbytes)
+            body = burst.nbytes - self.first
+            self.last = body - (burst.beats - 2) * beat_bytes
+            self.mid = beat_bytes
+            if not 0 < self.last <= beat_bytes:
+                raise AssertionError(
+                    f"beat arithmetic broke for {burst}: last={self.last}")
+        self.tag = tag
+        self._mid_beat = WBeat(False, self.mid)
+
+    def next_beat(self) -> WBeat:
+        k = self.issued
+        self.issued += 1
+        if k == self.beats - 1:
+            return WBeat(True, self.last if self.beats > 1 else self.first)
+        if k == 0:
+            return WBeat(False, self.first)
+        return self._mid_beat
+
+    def done(self) -> bool:
+        return self.issued >= self.beats
+
+
+class DmaEngine(Component):
+    """One tile's DMA master, attached to an XP local port via ``link``."""
+
+    def __init__(self, name: str, tile: int, link: AxiLink, *,
+                 beat_bytes: int, id_width: int, max_outstanding: int,
+                 issue_overhead: int, memory_map: MemoryMap,
+                 read_meter: ThroughputMeter | None = None,
+                 latency_stats: LatencyStats | None = None,
+                 max_burst_beats: int = 256,
+                 counters: CounterSet | None = None):
+        self.name = name
+        self.tile = tile
+        self.link = link
+        self.beat_bytes = beat_bytes
+        self.max_outstanding = max_outstanding
+        self.issue_overhead = issue_overhead
+        self.memory_map = memory_map
+        self.max_burst_beats = max_burst_beats
+        self.read_meter = read_meter if read_meter is not None else ThroughputMeter()
+        self.latency_stats = latency_stats if latency_stats is not None else LatencyStats(name)
+        self.counters = counters if counters is not None else CounterSet()
+
+        n_ids = 1 << id_width
+        self._wr_free = list(range(n_ids - 1, -1, -1))
+        self._rd_free = list(range(n_ids - 1, -1, -1))
+        # id -> [transfer, issue_cycle, beats_left]
+        self._wr_out: dict[int, list] = {}
+        self._rd_out: dict[int, list] = {}
+        self._pending: deque[Transfer] = deque()
+        self._w_emit: deque[_WEmitter] = deque()
+        self._cur: Transfer | None = None
+        self._burst_iter: Iterator[Burst] | None = None
+        self._next_burst: Burst | None = None
+        self._idle_until = 0
+        self._seq = 0
+        self.transfers_completed = 0
+        self.bytes_read = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, transfer: Transfer) -> None:
+        """Queue a transfer for execution (source order is preserved)."""
+        transfer._bursts_left = 0
+        transfer._split_done = False
+        self._pending.append(transfer)
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._pending)
+
+    def outstanding(self) -> int:
+        """Bursts currently in flight in the network."""
+        return len(self._wr_out) + len(self._rd_out)
+
+    def backlog(self) -> int:
+        """Transfers not yet fully completed: queued, splitting, or with
+        bursts in flight (the quantity script ``throttle`` bounds)."""
+        in_flight = {id(e[0]) for e in self._wr_out.values()}
+        in_flight.update(id(e[0]) for e in self._rd_out.values())
+        return (len(self._pending) + (1 if self._cur is not None else 0)
+                + len(in_flight))
+
+    def idle(self) -> bool:
+        """No queued, splitting, streaming, or outstanding work."""
+        return (not self._pending and self._cur is None
+                and not self._w_emit and not self._wr_out and not self._rd_out)
+
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> None:
+        link = self.link
+        # Sink responses first (mandatory progress for deadlock freedom).
+        beat = link.b.peek(now)
+        if beat is not None:
+            link.b.pop(now)
+            self._complete(self._wr_out, self._wr_free, beat.id, beat.resp, now)
+        beat = link.r.peek(now)
+        if beat is not None:
+            link.r.pop(now)
+            self.read_meter.add(beat.nbytes, now)
+            self.bytes_read += beat.nbytes
+            entry = self._rd_out.get(beat.id)
+            if entry is None:
+                raise AssertionError(
+                    f"{self.name}: R beat for unknown id {beat.id}")
+            entry[2] -= 1
+            if beat.last != (entry[2] == 0):
+                raise AssertionError(
+                    f"{self.name}: R burst length mismatch on id {beat.id}")
+            if beat.last:
+                self._complete(self._rd_out, self._rd_free, beat.id,
+                               beat.resp, now)
+        # Stream W data in AW order, one beat per cycle.
+        if self._w_emit and link.w.can_push():
+            emitter = self._w_emit[0]
+            link.w.push(emitter.next_beat(), now)
+            if emitter.done():
+                self._w_emit.popleft()
+        # Issue at most one burst per cycle.
+        if now >= self._idle_until:
+            self._issue(now)
+
+    # ------------------------------------------------------------------
+    def _issue(self, now: int) -> None:
+        if self._cur is None:
+            if not self._pending:
+                return
+            transfer = self._pending.popleft()
+            transfer._start_cycle = now
+            self._cur = transfer
+            self._burst_iter = split_transfer(
+                transfer.addr, transfer.nbytes, self.beat_bytes,
+                self.max_burst_beats)
+            self._next_burst = next(self._burst_iter)
+            return
+        burst = self._next_burst
+        if burst is None:
+            return
+        transfer = self._cur
+        link = self.link
+        if transfer.is_read:
+            if not self._rd_free or len(self._rd_out) >= self.max_outstanding:
+                self.counters.bump("dma_rd_mot_stall")
+                return
+            if not link.ar.can_push():
+                return
+            tid = self._rd_free.pop()
+            dest = self.memory_map.resolve(burst.addr)
+            link.ar.push(AddrBeat(tid, burst.addr, burst.beats, burst.nbytes,
+                                  -1 if dest is None else dest, self.tile), now)
+            self._rd_out[tid] = [transfer, now, burst.beats]
+        else:
+            if not self._wr_free or len(self._wr_out) >= self.max_outstanding:
+                self.counters.bump("dma_wr_mot_stall")
+                return
+            if not link.aw.can_push():
+                return
+            tid = self._wr_free.pop()
+            dest = self.memory_map.resolve(burst.addr)
+            link.aw.push(AddrBeat(tid, burst.addr, burst.beats, burst.nbytes,
+                                  -1 if dest is None else dest, self.tile), now)
+            self._wr_out[tid] = [transfer, now, 0]
+            self._w_emit.append(
+                _WEmitter(burst, self.beat_bytes, (self.tile, self._seq)))
+            self._seq += 1
+        transfer._bursts_left += 1
+        # Descriptor processing gap before the next burst may issue.
+        self._idle_until = now + self.issue_overhead
+        self._next_burst = next(self._burst_iter, None)
+        if self._next_burst is None:
+            transfer._split_done = True
+            self._cur = None
+            self._burst_iter = None
+
+    def _complete(self, table: dict, free: list, tid: int,
+                  resp: Resp, now: int) -> None:
+        entry = table.pop(tid, None)
+        if entry is None:
+            raise AssertionError(f"{self.name}: response for unknown id {tid}")
+        free.append(tid)
+        transfer = entry[0]
+        if resp != Resp.OKAY:
+            self.errors += 1
+            self.counters.bump("dma_resp_error")
+        transfer._bursts_left -= 1
+        if transfer._split_done and transfer._bursts_left == 0:
+            self.transfers_completed += 1
+            self.latency_stats.add(now - transfer._start_cycle)
+            if transfer.on_complete is not None:
+                transfer.on_complete(now)

@@ -1,0 +1,146 @@
+"""AXI memory slave — the paper's "AXI-capable memories that cater to
+the DMA requests" (§IV).
+
+Per-cycle port behaviour: accepts one AW, one W beat, and one AR per
+cycle; produces one B and one R beat per cycle.  Requests see a fixed
+access latency, and the number of simultaneously open transactions per
+direction is capped, backpressuring the NoC like a real memory
+controller.  Integrity checks (burst length/byte accounting, W-burst
+atomicity via tags) are always on — they are assertions, not statistics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.axi.beats import BBeat, RBeat
+from repro.axi.link import AxiLink
+from repro.sim.kernel import Component
+from repro.sim.stats import ThroughputMeter
+
+
+class _REmitter:
+    """Streams the R beats of one read burst (mirror of the DMA's W side)."""
+
+    __slots__ = ("rid", "issued", "beats", "first", "mid", "last", "_mid_beat")
+
+    def __init__(self, rid: int, addr: int, beats: int, nbytes: int,
+                 beat_bytes: int):
+        offset = addr % beat_bytes
+        self.rid = rid
+        self.issued = 0
+        self.beats = beats
+        if beats == 1:
+            self.first = nbytes
+            self.mid = 0
+            self.last = 0
+        else:
+            self.first = min(beat_bytes - offset, nbytes)
+            body = nbytes - self.first
+            self.last = body - (beats - 2) * beat_bytes
+            self.mid = beat_bytes
+            if not 0 < self.last <= beat_bytes:
+                raise AssertionError(
+                    f"R beat arithmetic broke: addr={addr:#x} beats={beats} "
+                    f"nbytes={nbytes} last={self.last}")
+        self._mid_beat = RBeat(rid, False, self.mid)
+
+    def next_beat(self) -> RBeat:
+        k = self.issued
+        self.issued += 1
+        if k == self.beats - 1:
+            return RBeat(self.rid, True,
+                         self.last if self.beats > 1 else self.first)
+        if k == 0:
+            return RBeat(self.rid, False, self.first)
+        return self._mid_beat
+
+    def done(self) -> bool:
+        return self.issued >= self.beats
+
+
+class MemorySlave(Component):
+    """One addressable memory endpoint (L1 of a tile, or a shared L2)."""
+
+    def __init__(self, name: str, endpoint: int, link: AxiLink, *,
+                 beat_bytes: int, latency: int = 5, max_outstanding: int = 16,
+                 write_meter: ThroughputMeter | None = None,
+                 scoreboard=None):
+        self.name = name
+        self.endpoint = endpoint
+        self.link = link
+        self.beat_bytes = beat_bytes
+        self.latency = latency
+        self.max_outstanding = max_outstanding
+        self.write_meter = write_meter if write_meter is not None else ThroughputMeter()
+        self.scoreboard = scoreboard
+        self.bytes_written = 0
+        self.bursts_written = 0
+        self.bursts_read = 0
+
+        # [id, beats_left, bytes_left, total_bytes, total_beats]
+        self._w_expect: deque[list] = deque()
+        self._b_queue: deque[tuple[int, int]] = deque()  # (ready_at, id)
+        self._r_jobs: deque[tuple[int, _REmitter]] = deque()  # (ready_at, emitter)
+
+    def idle(self) -> bool:
+        return not self._w_expect and not self._b_queue and not self._r_jobs
+
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> None:
+        link = self.link
+        # Accept one AW per cycle, bounded by open write transactions.
+        if len(self._w_expect) + len(self._b_queue) < self.max_outstanding:
+            aw = link.aw.peek(now)
+            if aw is not None:
+                link.aw.pop(now)
+                self._w_expect.append(
+                    [aw.id, aw.beats, aw.nbytes, aw.nbytes, aw.beats])
+        # Accept one W beat per cycle, only for an already-accepted AW.
+        if self._w_expect:
+            w = link.w.peek(now)
+            if w is not None:
+                link.w.pop(now)
+                head = self._w_expect[0]
+                head[1] -= 1
+                head[2] -= w.nbytes
+                self.write_meter.add(w.nbytes, now)
+                self.bytes_written += w.nbytes
+                if w.last:
+                    if head[1] != 0 or head[2] != 0:
+                        raise AssertionError(
+                            f"{self.name}: burst accounting broke on id "
+                            f"{head[0]}: {head[1]} beats / {head[2]} bytes left")
+                    self._w_expect.popleft()
+                    self._b_queue.append((now + self.latency, head[0]))
+                    self.bursts_written += 1
+                    if self.scoreboard is not None:
+                        self.scoreboard.record_write(
+                            self.endpoint, head[0], head[3], head[4], now)
+                elif head[1] <= 0:
+                    raise AssertionError(
+                        f"{self.name}: more W beats than AW announced "
+                        f"on id {head[0]}")
+        # Accept one AR per cycle, bounded by open read jobs.
+        if len(self._r_jobs) < self.max_outstanding:
+            ar = link.ar.peek(now)
+            if ar is not None:
+                link.ar.pop(now)
+                self._r_jobs.append((
+                    now + self.latency,
+                    _REmitter(ar.id, ar.addr, ar.beats, ar.nbytes,
+                              self.beat_bytes)))
+        # Emit one B per cycle.
+        if self._b_queue and self._b_queue[0][0] <= now and link.b.can_push():
+            _, bid = self._b_queue.popleft()
+            link.b.push(BBeat(bid), now)
+        # Emit one R beat per cycle (jobs served strictly in order).
+        if self._r_jobs and self._r_jobs[0][0] <= now and link.r.can_push():
+            _, emitter = self._r_jobs[0]
+            link.r.push(emitter.next_beat(), now)
+            if emitter.done():
+                self._r_jobs.popleft()
+                self.bursts_read += 1
+                if self.scoreboard is not None:
+                    self.scoreboard.record_read(
+                        self.endpoint, emitter.rid, now)

@@ -1,0 +1,30 @@
+"""Evaluation harness: per-figure/table experiment runners and reports."""
+
+from repro.eval.experiments import EXPERIMENTS, run_all, run_experiment
+from repro.eval.heatmap import LinkHeatmap
+from repro.eval.report import ExperimentResult, Section, render_text, save_csv
+from repro.eval.runner import (
+    MeasuredPoint,
+    run_baseline_point,
+    run_dnn_workload,
+    run_synthetic_point,
+    run_uniform_point,
+    windows,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "LinkHeatmap",
+    "MeasuredPoint",
+    "Section",
+    "render_text",
+    "run_all",
+    "run_baseline_point",
+    "run_dnn_workload",
+    "run_experiment",
+    "run_synthetic_point",
+    "run_uniform_point",
+    "save_csv",
+    "windows",
+]

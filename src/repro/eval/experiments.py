@@ -1,0 +1,34 @@
+"""Experiment registry: every table and figure of the paper's evaluation,
+mapped to its regenerating function (see DESIGN.md §4)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.eval import fig2, fig3, fig4, fig6, fig8, power, table1, table2
+from repro.eval.report import ExperimentResult
+
+#: id → (description, runner).  Runners take ``quick`` and return an
+#: :class:`~repro.eval.report.ExperimentResult`.
+EXPERIMENTS: dict[str, tuple[str, Callable[[bool], ExperimentResult]]] = {
+    "table1": ("Table I: mesh parameter space", table1.run),
+    "fig2": ("Fig. 2: 2x2 area vs bisection bandwidth vs ESP-NoC", fig2.run),
+    "fig3": ("Fig. 3: 4x4 scaling and MOT/area tradeoff", fig3.run),
+    "fig4": ("Fig. 4: uniform random traffic vs packet baseline", fig4.run),
+    "fig6": ("Fig. 6: synthetic pattern utilization", fig6.run),
+    "fig8": ("Fig. 8: DNN workload throughput", fig8.run),
+    "table2": ("Table II: comparison with state-of-the-art NoCs", table2.run),
+    "power": ("Sec. III: power at 1 GHz", power.run),
+}
+
+
+def run_experiment(exp_id: str, quick: bool = False) -> ExperimentResult:
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; choose from {sorted(EXPERIMENTS)}")
+    _desc, runner = EXPERIMENTS[exp_id]
+    return runner(quick)
+
+
+def run_all(quick: bool = False) -> list[ExperimentResult]:
+    return [run_experiment(exp_id, quick) for exp_id in EXPERIMENTS]

@@ -1,0 +1,40 @@
+"""Fig. 8 — DNN workload traffic: aggregate throughput of the three
+ResNet-34 workloads (distributed training, parallelized convolution,
+pipelined convolution) on the slim and wide 4×4 PATRONoC."""
+
+from __future__ import annotations
+
+from repro.eval.report import ExperimentResult
+from repro.eval.runner import run_dnn_workload
+from repro.noc.config import NocConfig
+
+WORKLOAD_ORDER = ("train", "par", "pipe")
+TITLES = {"train": "Distributed Training",
+          "par": "Parallelized Convolution",
+          "pipe": "Pipelined Convolution"}
+
+#: Fig. 8 bar values (GiB/s).
+PAPER_THROUGHPUT = {
+    ("slim", "train"): 5.18, ("slim", "par"): 4.27, ("slim", "pipe"): 19.17,
+    ("wide", "train"): 83.1, ("wide", "par"): 68.5, ("wide", "pipe"): 310.7,
+}
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig8", "DNN workload traffic: throughput on slim and wide 4x4")
+    for label, cfg in (("slim", NocConfig.slim()), ("wide", NocConfig.wide())):
+        sec = result.section(
+            f"{label} NoC (DW={cfg.data_width})",
+            ["workload", "throughput_GiB_s", "paper_GiB_s", "ratio"])
+        for key in WORKLOAD_ORDER:
+            point = run_dnn_workload(cfg, key, quick=quick)
+            paper = PAPER_THROUGHPUT[(label, key)]
+            sec.add(TITLES[key], point.throughput_gib_s, paper,
+                    point.throughput_gib_s / paper)
+    result.note("training measured over one full batch (read shard, "
+                "fwd/bwd, tree reduction, L2 write-back, model "
+                "re-replication); par/pipe measured in steady state")
+    if quick:
+        result.note("quick mode: model scaled to shrink=0.95, input 112x112")
+    return result

@@ -1,0 +1,102 @@
+"""Plain-text and CSV rendering for experiment results.
+
+An experiment produces an :class:`ExperimentResult`: a title, optional
+commentary, and a list of sections, each being a header row plus data
+rows.  The CLI prints them as aligned tables (the closest faithful
+terminal rendering of the paper's figures) and can dump CSVs for
+external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class Section:
+    """One table of an experiment (a figure panel or table block)."""
+
+    title: str
+    header: list[str]
+    rows: list[list] = field(default_factory=list)
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.header):
+            raise ValueError(
+                f"row width {len(values)} != header width {len(self.header)}")
+        self.rows.append(list(values))
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment reports."""
+
+    exp_id: str
+    title: str
+    sections: list[Section] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def section(self, title: str, header: list[str]) -> Section:
+        sec = Section(title=title, header=header)
+        self.sections.append(sec)
+        return sec
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_text(result: ExperimentResult) -> str:
+    """Render a result as aligned plain-text tables."""
+    out: list[str] = []
+    bar = "=" * 72
+    out.append(bar)
+    out.append(f"{result.exp_id.upper()}: {result.title}")
+    out.append(bar)
+    for sec in result.sections:
+        out.append("")
+        out.append(f"--- {sec.title} ---")
+        table = [sec.header] + [
+            [_format_cell(v) for v in row] for row in sec.rows]
+        widths = [max(len(row[c]) for row in table)
+                  for c in range(len(sec.header))]
+        for r, row in enumerate(table):
+            line = "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+            out.append(line)
+            if r == 0:
+                out.append("  ".join("-" * w for w in widths))
+    if result.notes:
+        out.append("")
+        for note in result.notes:
+            out.append(f"note: {note}")
+    out.append("")
+    return "\n".join(out)
+
+
+def save_csv(result: ExperimentResult, directory: str | Path) -> list[Path]:
+    """One CSV per section; returns the written paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for i, sec in enumerate(result.sections):
+        slug = sec.title.lower().replace(" ", "_").replace("/", "-")
+        path = directory / f"{result.exp_id}_{i}_{slug}.csv"
+        with open(path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(sec.header)
+            writer.writerows(sec.rows)
+        written.append(path)
+    return written

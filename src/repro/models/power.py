@@ -1,0 +1,54 @@
+"""Calibrated power model (§III): PATRONoC power at 1 GHz.
+
+Anchors (4×4 mesh, uniform random traffic, 1 GHz): 45 mW at DW=32 and
+171 mW at DW=512 — linear in data width with a fixed clock-tree/control
+floor.  Power scales with total port count relative to the 4×4 reference
+and with switching activity relative to the uniform-random anchor.
+"""
+
+from __future__ import annotations
+
+from repro.models.tech import ACCEL_POWER_MW
+from repro.noc.config import NocConfig
+from repro.noc.topology import Mesh2D
+from repro.models.area import xp_port_count
+
+#: mW per data-width bit at the uniform-random anchor activity.
+P_BIT_MW = (171.0 - 45.0) / (512.0 - 32.0)  # = 0.2625
+
+#: Fixed mW floor (clock tree, control) of the 4×4 mesh.
+P_FIX_MW = 45.0 - 32.0 * P_BIT_MW  # = 36.6
+
+#: Total XP ports of the 4×4 reference mesh (corners 3, edges 4, centres
+#: 5, one local each).
+_REFERENCE_PORTS = 64.0
+
+#: Fraction of power that does not scale with activity (clocking).
+_STATIC_FRACTION = 0.35
+
+
+def mesh_power_mw(cfg: NocConfig, activity: float = 1.0) -> float:
+    """NoC power in mW at ``cfg.freq_hz``.
+
+    ``activity`` is switching activity relative to the paper's
+    uniform-random measurement (1.0 = the anchor condition).
+    """
+    if not 0.0 <= activity <= 1.5:
+        raise ValueError(f"activity {activity} outside sane range [0, 1.5]")
+    topo = Mesh2D(cfg.rows, cfg.cols)
+    ports = sum(xp_port_count(topo, n) for n in range(topo.n_nodes))
+    scale_ports = ports / _REFERENCE_PORTS
+    base = (P_FIX_MW + P_BIT_MW * cfg.data_width) * scale_ports
+    dynamic = base * (1.0 - _STATIC_FRACTION) * activity
+    static = base * _STATIC_FRACTION
+    return (static + dynamic) * (cfg.freq_hz / 1e9)
+
+
+def platform_power_fraction(cfg: NocConfig, activity: float = 1.0,
+                            accel_power_mw: float | None = None) -> float:
+    """NoC power as a fraction of the full-platform budget (§III claims
+    < 10 % assuming 100–200 mW per DNN accelerator per node)."""
+    accel = accel_power_mw if accel_power_mw is not None else ACCEL_POWER_MW[0]
+    noc = mesh_power_mw(cfg, activity)
+    platform = noc + accel * cfg.n_nodes
+    return noc / platform

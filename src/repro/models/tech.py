@@ -1,0 +1,39 @@
+"""GlobalFoundries 22FDX technology constants used for reporting.
+
+The paper synthesises in GF 22FDX with eight-track SLVT/LVT standard
+cells at the worst-case corner (SS / 0.72 V / 125 °C) and reports areas
+in kGE (thousands of gate equivalents, 1 GE = one NAND2 footprint).
+We cannot run synthesis; these constants convert the calibrated kGE
+model into physical units for reports and sanity checks.
+"""
+
+from __future__ import annotations
+
+#: Technology label for report headers.
+TECH_NAME = "GF 22FDX (modelled)"
+
+#: Area of one gate equivalent (ND2 X1 footprint) in 22FDX, µm².
+#: Eight-track 22FDX libraries place ND2X1 at ≈0.2 µm².
+GE_UM2 = 0.199
+
+#: Target clock of every synthesised configuration in the paper.
+TARGET_FREQ_HZ = 1e9
+
+#: Worst-case characterisation corner (timing sign-off).
+CORNER = "SS / 0.72 V / 125 °C"
+
+#: Power budget of a typical DNN accelerator per node (§III), mW.
+ACCEL_POWER_MW = (100.0, 200.0)
+
+
+def kge_to_mm2(kge: float) -> float:
+    """Convert kGE of standard-cell area to mm² (cell area only)."""
+    if kge < 0:
+        raise ValueError(f"negative area {kge}")
+    return kge * 1000.0 * GE_UM2 / 1e6
+
+
+def mm2_to_kge(mm2: float) -> float:
+    if mm2 < 0:
+        raise ValueError(f"negative area {mm2}")
+    return mm2 * 1e6 / GE_UM2 / 1000.0

@@ -1,0 +1,50 @@
+"""Bisection-bandwidth helpers, in the paper's two conventions.
+
+The paper uses two counting conventions (DESIGN.md §6):
+
+* Figs. 2 and 3 count **one direction** of the cut links in Gbit/s
+  (2 links × 64 bit × 1 GHz = 128 Gbit/s for the 2×2 DW=64 mesh);
+* §IV's utilization numbers count **both directions** in GiB/s
+  (the slim 4×4 has "32 GiB/s bisection bandwidth", the wide 512 GiB/s).
+
+Both helpers are provided under explicit names so no caller can confuse
+them.
+"""
+
+from __future__ import annotations
+
+from repro.noc.config import NocConfig
+from repro.noc.topology import Mesh2D
+from repro.sim.stats import GIB
+
+
+def bisection_links(cfg: NocConfig, topology: Mesh2D | None = None) -> int:
+    """Links crossing the middle cut, counted in one direction."""
+    topo = topology if topology is not None else Mesh2D(cfg.rows, cfg.cols)
+    return topo.bisection_links()
+
+
+def bisection_gbit_s(cfg: NocConfig, topology: Mesh2D | None = None,
+                     bidirectional: bool = False) -> float:
+    """Bisection bandwidth in Gbit/s (Figs. 2/3 use unidirectional)."""
+    links = bisection_links(cfg, topology)
+    directions = 2 if bidirectional else 1
+    return links * directions * cfg.data_width * cfg.freq_hz / 1e9
+
+
+def bisection_gib_s(cfg: NocConfig, topology: Mesh2D | None = None,
+                    bidirectional: bool = True) -> float:
+    """Bisection bandwidth in GiB/s (§IV utilization uses bidirectional)."""
+    links = bisection_links(cfg, topology)
+    directions = 2 if bidirectional else 1
+    return links * directions * cfg.beat_bytes * cfg.freq_hz / GIB
+
+
+def utilization(throughput_gib_s: float, cfg: NocConfig,
+                topology: Mesh2D | None = None) -> float:
+    """NoC utilization (%) as defined for Fig. 6: aggregate throughput
+    normalised to the bidirectional bisection bandwidth."""
+    bw = bisection_gib_s(cfg, topology, bidirectional=True)
+    if bw == 0:
+        return 0.0
+    return 100.0 * throughput_gib_s / bw

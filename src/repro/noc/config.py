@@ -1,0 +1,162 @@
+"""PATRONoC design-time parameters (Table I of the paper) and validation.
+
+A :class:`NocConfig` captures one point of the paper's design space plus
+the testbench knobs the paper leaves unspecified (endpoint overheads —
+see DESIGN.md §6).  Configurations are immutable; derive variants with
+:func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.axi.types import (
+    validate_addr_width,
+    validate_data_width,
+    validate_id_width,
+    validate_mot,
+)
+
+#: Register-slice options of Table I.
+REGISTER_SLICE_OPTIONS = ("all", "single")
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    """One PATRONoC instance of the Table I parameter space.
+
+    Parameters (design time, Table I)
+    ---------------------------------
+    rows, cols:
+        Mesh dimension N × M.
+    data_width:
+        DW in bits, 8..1024 (power of two).
+    addr_width:
+        AW in bits, 32 or 64.
+    id_width:
+        IW in bits, 1..16; sets the per-egress remap pool to ``2**IW``.
+    max_outstanding:
+        MOT, 1..128; cap on in-flight transactions per direction at the
+        DMA endpoints and per XP egress.
+    full_connectivity:
+        XBAR connectivity: False = partial (mesh turns only, the
+        default), True = fully connected.
+    register_slices:
+        "all" (default; every channel cut, the timing-closed 1 GHz
+        configuration all results use) or "single".  Affects the area
+        model; hop latency is one cycle either way (see DESIGN.md §5).
+
+    Parameters (testbench, §IV defaults)
+    ------------------------------------
+    freq_hz:
+        Endpoint and NoC clock (1 GHz everywhere in the paper).
+    dma_issue_overhead:
+        Cycles a DMA engine spends per burst on descriptor processing
+        (calibrated to the paper's small-burst saturation anchor, see
+        DESIGN.md §6).
+    memory_latency:
+        AXI memory access latency in cycles.
+    memory_outstanding:
+        Outstanding transactions an AXI memory accepts per direction.
+    w_order_depth:
+        Per-egress write grant-order queue depth inside each XP.
+    hop_latency:
+        Cycles per XP-to-XP link per channel (switch traversal plus the
+        register slice; 2 matches the RTL's cut-on-every-channel timing
+        closure at 1 GHz).
+    """
+
+    rows: int = 4
+    cols: int = 4
+    data_width: int = 32
+    addr_width: int = 32
+    id_width: int = 4
+    max_outstanding: int = 8
+    full_connectivity: bool = False
+    register_slices: str = "all"
+    freq_hz: float = 1e9
+    dma_issue_overhead: int = 20
+    memory_latency: int = 5
+    memory_outstanding: int = 16
+    w_order_depth: int = 8
+    hop_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(f"mesh dimension must be >= 1x1, got "
+                             f"{self.rows}x{self.cols}")
+        validate_data_width(self.data_width)
+        validate_addr_width(self.addr_width)
+        validate_id_width(self.id_width)
+        validate_mot(self.max_outstanding)
+        if self.register_slices not in REGISTER_SLICE_OPTIONS:
+            raise ValueError(
+                f"register_slices must be one of {REGISTER_SLICE_OPTIONS}, "
+                f"got {self.register_slices!r}")
+        if self.freq_hz <= 0:
+            raise ValueError(f"frequency must be positive, got {self.freq_hz}")
+        if self.dma_issue_overhead < 0:
+            raise ValueError("dma_issue_overhead must be >= 0")
+        if self.memory_latency < 0:
+            raise ValueError("memory_latency must be >= 0")
+        if self.memory_outstanding < 1:
+            raise ValueError("memory_outstanding must be >= 1")
+        if self.w_order_depth < 1:
+            raise ValueError("w_order_depth must be >= 1")
+        if self.hop_latency < 1:
+            raise ValueError("hop_latency must be >= 1")
+        n_masters = self.rows * self.cols
+        if n_masters > 1 and (1 << self.id_width) < n_masters:
+            # The paper sizes IW so each master can own a unique ID
+            # ("IW ... increased to 4 to support 16 unique IDs required
+            # for 16 masters"); warn-by-construction instead of failing.
+            object.__setattr__(self, "_id_pressure", True)
+        else:
+            object.__setattr__(self, "_id_pressure", False)
+
+    # ------------------------------------------------------------------
+    @property
+    def beat_bytes(self) -> int:
+        """Bus width in bytes (payload per beat per cycle per link)."""
+        return self.data_width // 8
+
+    @property
+    def n_nodes(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def id_pressure(self) -> bool:
+        """True when the ID space is smaller than the master count."""
+        return self._id_pressure
+
+    @property
+    def label(self) -> str:
+        """The paper's configuration naming: ``AXI_AW_DW_IW``."""
+        return f"AXI_{self.addr_width}_{self.data_width}_{self.id_width}"
+
+    def with_(self, **changes) -> "NocConfig":
+        """A modified copy (thin wrapper over :func:`dataclasses.replace`)."""
+        return replace(self, **changes)
+
+    # -- the two §IV evaluation configurations -------------------------
+    @classmethod
+    def slim(cls, rows: int = 4, cols: int = 4) -> "NocConfig":
+        """The §IV *slim* NoC: DW=32, AW=32, IW=4, MOT=8."""
+        return cls(rows=rows, cols=cols, data_width=32, addr_width=32,
+                   id_width=4, max_outstanding=8)
+
+    @classmethod
+    def wide(cls, rows: int = 4, cols: int = 4) -> "NocConfig":
+        """The §IV *wide* NoC: DW=512, AW=32, IW=4, MOT=8."""
+        return cls(rows=rows, cols=cols, data_width=512, addr_width=32,
+                   id_width=4, max_outstanding=8)
+
+    @classmethod
+    def from_label(cls, label: str, rows: int = 2, cols: int = 2,
+                   **kwargs) -> "NocConfig":
+        """Parse the paper's ``AXI_AW_DW_IW`` naming into a config."""
+        parts = label.split("_")
+        if len(parts) != 4 or parts[0] != "AXI":
+            raise ValueError(f"expected 'AXI_<AW>_<DW>_<IW>', got {label!r}")
+        return cls(rows=rows, cols=cols, addr_width=int(parts[1]),
+                   data_width=int(parts[2]), id_width=int(parts[3]), **kwargs)

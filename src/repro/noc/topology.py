@@ -1,0 +1,166 @@
+"""Regular topologies built from XPs: 2D mesh (the paper's evaluation
+vehicle), plus torus and ring to demonstrate the generator's modularity
+claim (§II: "any regular topology, such as a torus, butterfly, or ring,
+can also be modularly built using our building blocks").
+
+A topology knows its node grid, its directed links, and its deterministic
+routing decision (``route_next``); the network builder and the routing-
+table generator consume this interface only.
+"""
+
+from __future__ import annotations
+
+#: Mesh port indices; local endpoint ports start at LOCAL_PORT_BASE.
+PORT_N, PORT_E, PORT_S, PORT_W = 0, 1, 2, 3
+MESH_PORTS = 4
+LOCAL_PORT_BASE = 4
+
+PORT_NAMES = {PORT_N: "N", PORT_E: "E", PORT_S: "S", PORT_W: "W"}
+
+#: The ingress port on the far XP for each egress direction.
+OPPOSITE = {PORT_N: PORT_S, PORT_S: PORT_N, PORT_E: PORT_W, PORT_W: PORT_E}
+
+
+class Mesh2D:
+    """An N-row × M-column mesh with YX dimension-ordered routing.
+
+    Coordinates: ``x`` is the column (East positive), ``y`` the row
+    (South positive, matching Fig. 1's XP numbering where XP0 is the
+    top-left corner and XP4 sits below it in the 4×4 instance).
+    """
+
+    wraps = False
+
+    def __init__(self, rows: int, cols: int):
+        if rows < 1 or cols < 1:
+            raise ValueError(f"mesh must be at least 1x1, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self.n_nodes = rows * cols
+
+    # -- geometry -------------------------------------------------------
+    def node(self, x: int, y: int) -> int:
+        if not (0 <= x < self.cols and 0 <= y < self.rows):
+            raise ValueError(f"({x}, {y}) outside {self.rows}x{self.cols} mesh")
+        return y * self.cols + x
+
+    def coords(self, node: int) -> tuple[int, int]:
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} outside 0..{self.n_nodes - 1}")
+        return node % self.cols, node // self.cols
+
+    def neighbor(self, node: int, port: int) -> int | None:
+        """Adjacent node through mesh ``port``, or None at an edge."""
+        x, y = self.coords(node)
+        if port == PORT_N:
+            return self.node(x, y - 1) if y > 0 else None
+        if port == PORT_S:
+            return self.node(x, y + 1) if y < self.rows - 1 else None
+        if port == PORT_E:
+            return self.node(x + 1, y) if x < self.cols - 1 else None
+        if port == PORT_W:
+            return self.node(x - 1, y) if x > 0 else None
+        raise ValueError(f"not a mesh port: {port}")
+
+    def directed_links(self):
+        """Yield every directed inter-XP link as (src, out_port, dst, in_port)."""
+        for node in range(self.n_nodes):
+            for port in (PORT_N, PORT_E, PORT_S, PORT_W):
+                dst = self.neighbor(node, port)
+                if dst is not None:
+                    yield node, port, dst, OPPOSITE[port]
+
+    def hop_distance(self, a: int, b: int) -> int:
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        return abs(ax - bx) + abs(ay - by)
+
+    # -- routing --------------------------------------------------------
+    def route_next(self, cur: int, dst: int) -> int:
+        """Source-based YX routing (§II): resolve Y first, then X."""
+        cx, cy = self.coords(cur)
+        dx, dy = self.coords(dst)
+        if cy != dy:
+            return PORT_S if dy > cy else PORT_N
+        if cx != dx:
+            return PORT_E if dx > cx else PORT_W
+        raise ValueError(f"route_next called with cur == dst == {cur}")
+
+    def bisection_links(self) -> int:
+        """Directed links crossing the middle cut, counted one way."""
+        if self.n_nodes == 1:
+            return 0
+        return min(self.rows, self.cols)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.rows}x{self.cols})"
+
+
+class Torus2D(Mesh2D):
+    """Mesh with wraparound links and shortest-direction YX routing.
+
+    Note: dimension-ordered routing on a torus has a cyclic channel
+    dependency within each ring, so saturating loads can deadlock — the
+    RTL has the same property without extra virtual channels.  The
+    topology exists to demonstrate generator modularity; use moderate
+    loads (the example and tests do).
+    """
+
+    wraps = True
+
+    def neighbor(self, node: int, port: int) -> int | None:
+        x, y = self.coords(node)
+        if port == PORT_N:
+            return self.node(x, (y - 1) % self.rows) if self.rows > 1 else None
+        if port == PORT_S:
+            return self.node(x, (y + 1) % self.rows) if self.rows > 1 else None
+        if port == PORT_E:
+            return self.node((x + 1) % self.cols, y) if self.cols > 1 else None
+        if port == PORT_W:
+            return self.node((x - 1) % self.cols, y) if self.cols > 1 else None
+        raise ValueError(f"not a mesh port: {port}")
+
+    def directed_links(self):
+        seen = set()
+        for node in range(self.n_nodes):
+            for port in (PORT_N, PORT_E, PORT_S, PORT_W):
+                dst = self.neighbor(node, port)
+                if dst is None or dst == node:
+                    continue
+                key = (node, port)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield node, port, dst, OPPOSITE[port]
+
+    def hop_distance(self, a: int, b: int) -> int:
+        ax, ay = self.coords(a)
+        bx, by = self.coords(b)
+        dx = abs(ax - bx)
+        dy = abs(ay - by)
+        return min(dx, self.cols - dx) + min(dy, self.rows - dy)
+
+    def route_next(self, cur: int, dst: int) -> int:
+        cx, cy = self.coords(cur)
+        dx, dy = self.coords(dst)
+        if cy != dy:
+            down = (dy - cy) % self.rows
+            up = (cy - dy) % self.rows
+            return PORT_S if down <= up else PORT_N
+        if cx != dx:
+            east = (dx - cx) % self.cols
+            west = (cx - dx) % self.cols
+            return PORT_E if east <= west else PORT_W
+        raise ValueError(f"route_next called with cur == dst == {cur}")
+
+    def bisection_links(self) -> int:
+        if self.n_nodes == 1:
+            return 0
+        return 2 * min(self.rows, self.cols)
+
+
+def ring(n: int) -> Torus2D:
+    """A 1 × n ring (a degenerate torus)."""
+    if n < 3:
+        raise ValueError(f"a ring needs at least 3 nodes, got {n}")
+    return Torus2D(1, n)

@@ -1,0 +1,110 @@
+"""Register-stage FIFOs for two-phase cycle simulation.
+
+Every AXI channel hop in PATRONoC carries a register slice (``axi_cut``),
+so the natural simulation primitive is a FIFO whose entries become visible
+to the consumer one cycle after they are pushed.  With a capacity of two
+this is exactly a *spill register*: full throughput (one item per cycle)
+with one cycle of latency, and structural backpressure when the consumer
+stalls.
+
+The two-phase discipline means component step order within a cycle cannot
+create zero-latency combinational paths: an item pushed at cycle ``t`` can
+be popped at ``t + latency`` at the earliest, regardless of who steps
+first.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterator
+
+
+class TimedFifo:
+    """A bounded FIFO whose items become visible ``latency`` cycles after push.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of items held (visible and in-flight combined).
+        Capacity 2 with latency 1 behaves like a full-throughput spill
+        register; capacity 1 halves the sustainable rate when producer
+        steps before consumer.
+    latency:
+        Cycles between :meth:`push` and the item becoming poppable.
+    name:
+        Optional label used in ``repr`` and error messages.
+    """
+
+    __slots__ = ("capacity", "latency", "name", "_q", "pushed", "popped")
+
+    def __init__(self, capacity: int = 2, latency: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"FIFO capacity must be >= 1, got {capacity}")
+        if latency < 0:
+            raise ValueError(f"FIFO latency must be >= 0, got {latency}")
+        self.capacity = capacity
+        self.latency = latency
+        self.name = name
+        self._q: deque[tuple[int, Any]] = deque()
+        self.pushed = 0  # lifetime counters, used by monitors/tests
+        self.popped = 0
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TimedFifo({self.name or 'anon'}, {len(self._q)}/{self.capacity})"
+        )
+
+    def can_push(self) -> bool:
+        """True if a push this cycle would be accepted (ready signal)."""
+        return len(self._q) < self.capacity
+
+    def push(self, item: Any, now: int) -> None:
+        """Insert ``item``; it becomes visible at ``now + latency``.
+
+        Raises
+        ------
+        OverflowError
+            If the FIFO is full.  Producers must check :meth:`can_push`
+            first; pushing into a full FIFO is a modelling bug, not a
+            runtime condition.
+        """
+        if len(self._q) >= self.capacity:
+            raise OverflowError(f"push into full FIFO {self.name!r}")
+        self._q.append((now + self.latency, item))
+        self.pushed += 1
+
+    def peek(self, now: int) -> Any | None:
+        """Return the head item if it is visible at cycle ``now``, else None."""
+        if self._q:
+            ready_at, item = self._q[0]
+            if ready_at <= now:
+                return item
+        return None
+
+    def pop(self, now: int) -> Any:
+        """Remove and return the head item.
+
+        Raises
+        ------
+        LookupError
+            If the FIFO is empty or the head is not yet visible.
+        """
+        if not self._q:
+            raise LookupError(f"pop from empty FIFO {self.name!r}")
+        ready_at, item = self._q[0]
+        if ready_at > now:
+            raise LookupError(
+                f"pop from FIFO {self.name!r} before head is visible "
+                f"(ready at {ready_at}, now {now})"
+            )
+        self._q.popleft()
+        self.popped += 1
+        return item
+
+    def drain(self) -> Iterator[Any]:
+        """Yield and remove all items regardless of visibility (teardown)."""
+        while self._q:
+            yield self._q.popleft()[1]

@@ -1,0 +1,58 @@
+"""MobileNetV1 layer table — a second workload network.
+
+The paper evaluates ResNet-34 only; MobileNetV1 (Howard et al. 2017)
+is the other canonical edge CNN and stresses the NoC very differently:
+depthwise convolutions have tiny weight footprints but full-size
+activations, so the pipelined mapping becomes activation-dominated and
+the training all-reduce almost disappears.  Useful for exploring how
+workload structure (not just datapath width) moves the Fig. 8 numbers.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.traffic.dnn.layers import ConvLayer, FcLayer, Layer
+
+#: (stride of the depthwise conv, output channels of the pointwise conv)
+#: for the 13 depthwise-separable blocks.
+MOBILENET_BLOCKS = (
+    (1, 64), (2, 128), (1, 128), (2, 256), (1, 256), (2, 512),
+    (1, 512), (1, 512), (1, 512), (1, 512), (1, 512),
+    (2, 1024), (1, 1024),
+)
+
+
+def _shrunk(channels: int, shrink: float) -> int:
+    return max(1, math.ceil(channels * (1.0 - shrink)))
+
+
+def mobilenet_v1(shrink: float = 0.0, input_hw: int = 224,
+                 num_classes: int = 1000) -> list[Layer]:
+    """MobileNetV1 at a channel shrink factor (the width multiplier)."""
+    if not 0.0 <= shrink < 1.0:
+        raise ValueError(f"shrink must be in [0, 1), got {shrink}")
+    layers: list[Layer] = []
+    ch = _shrunk(32, shrink)
+    hw = input_hw // 2
+    layers.append(ConvLayer("conv1", in_ch=3, out_ch=ch, kernel=3, stride=2,
+                            in_h=input_hw, in_w=input_hw))
+    for k, (stride, width) in enumerate(MOBILENET_BLOCKS):
+        out_ch = _shrunk(width, shrink)
+        layers.append(ConvLayer(
+            f"block{k}.dw", in_ch=ch, out_ch=ch, kernel=3, stride=stride,
+            in_h=hw, in_w=hw, groups=ch))
+        hw //= stride
+        layers.append(ConvLayer(
+            f"block{k}.pw", in_ch=ch, out_ch=out_ch, kernel=1, stride=1,
+            in_h=hw, in_w=hw, padding=0))
+        ch = out_ch
+    layers.append(FcLayer("fc", in_features=ch, out_features=num_classes))
+    return layers
+
+
+def conv_layers_mobilenet(shrink: float = 0.0,
+                          input_hw: int = 224) -> list[ConvLayer]:
+    """Just the convolutions (for the inference mappings)."""
+    return [l for l in mobilenet_v1(shrink, input_hw)
+            if isinstance(l, ConvLayer)]

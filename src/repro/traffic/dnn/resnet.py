@@ -1,0 +1,76 @@
+"""ResNet-34 layer table with the paper's channel shrink factor.
+
+The distributed-training workload of §IV-C deploys "a ResNet-34 (90 %
+channel shrink factor) distributed training model for the ImageNet
+dataset on 16 cores".  We build the standard ResNet-34 topology (He et
+al. 2016: a 7×7 stem plus [3, 4, 6, 3] basic blocks of two 3×3 convs,
+with 1×1 downsample projections at stage transitions) and scale every
+channel count by ``1 - shrink`` (90 % shrink → 10 % of the original
+channels), which is what makes the model small enough for per-core L1s
+at the edge.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.traffic.dnn.layers import ConvLayer, FcLayer, Layer
+
+#: Basic-block counts of ResNet-34's four stages.
+RESNET34_STAGES = (3, 4, 6, 3)
+#: Unshrunk channel widths of the four stages.
+RESNET34_CHANNELS = (64, 128, 256, 512)
+
+
+def _shrunk(channels: int, shrink: float) -> int:
+    return max(1, math.ceil(channels * (1.0 - shrink)))
+
+
+def resnet34(shrink: float = 0.9, input_hw: int = 224,
+             num_classes: int = 1000) -> list[Layer]:
+    """The ResNet-34 layer list at a given channel shrink factor.
+
+    Parameters
+    ----------
+    shrink:
+        Fraction of channels removed (the paper's "90 % channel shrink
+        factor" → ``shrink=0.9`` → 10 % of the channels remain).
+    input_hw:
+        Input image height/width (224 for ImageNet).
+    """
+    if not 0.0 <= shrink < 1.0:
+        raise ValueError(f"shrink must be in [0, 1), got {shrink}")
+    layers: list[Layer] = []
+    stem_ch = _shrunk(64, shrink)
+    layers.append(ConvLayer("conv1", in_ch=3, out_ch=stem_ch, kernel=7,
+                            stride=2, in_h=input_hw, in_w=input_hw,
+                            padding=3))
+    # Max-pool halves the spatial size ahead of stage 1.
+    hw = input_hw // 4
+    in_ch = stem_ch
+    for stage, (blocks, width) in enumerate(
+            zip(RESNET34_STAGES, RESNET34_CHANNELS), start=1):
+        out_ch = _shrunk(width, shrink)
+        for block in range(blocks):
+            stride = 2 if (stage > 1 and block == 0) else 1
+            if stride == 2:
+                layers.append(ConvLayer(
+                    f"layer{stage}.{block}.downsample", in_ch=in_ch,
+                    out_ch=out_ch, kernel=1, stride=2, in_h=hw, in_w=hw,
+                    padding=0))
+                hw //= 2
+            layers.append(ConvLayer(
+                f"layer{stage}.{block}.conv1", in_ch=in_ch, out_ch=out_ch,
+                kernel=3, stride=stride,
+                in_h=hw * stride, in_w=hw * stride))
+            layers.append(ConvLayer(
+                f"layer{stage}.{block}.conv2", in_ch=out_ch, out_ch=out_ch,
+                kernel=3, stride=1, in_h=hw, in_w=hw))
+            in_ch = out_ch
+    layers.append(FcLayer("fc", in_features=in_ch, out_features=num_classes))
+    return layers
+
+
+def conv_layers(shrink: float = 0.9, input_hw: int = 224) -> list[ConvLayer]:
+    """Just the convolutions (the inference workloads tile these)."""
+    return [l for l in resnet34(shrink, input_hw) if isinstance(l, ConvLayer)]

@@ -1,0 +1,337 @@
+"""The three DNN workloads of §IV-C as per-core command scripts.
+
+This module is the GVSoC substitute (DESIGN.md §2): GVSoC runs the real
+software stack and extracts traffic traces for the RTL simulation; we
+generate the same three communication structures directly from the
+ResNet-34 layer table and the mapping strategy:
+
+a) **Distributed training** — data-parallel training on 16 cores: every
+   core reads the replicated weights from the shared L2 (L2→L1),
+   computes forward/backward locally, then ring-all-reduces gradients
+   with its ring neighbour (L1→L1) and checkpoints activations (L1→L2).
+   The paper's "mix of L2 to L1, L1 to L2, and L1 to L1 transfers".
+b) **Parallelized convolution** — layer-by-layer inference, every layer
+   tiled across all 16 cores: tile and weight reads from L2, tile writes
+   back to L2, a barrier between layers.  Pure L2↔L1; no inter-core
+   traffic.
+c) **Pipelined convolution** — depth-first inference: consecutive layer
+   groups mapped to consecutive cores along a snake through the mesh;
+   activation tiles flow core-to-core (L1→L1), only the first/last cores
+   touch L2.
+
+Compute time is optional (``macs_per_cycle=None`` replays pure
+communication, which matches the paper's trace-driven RTL evaluation —
+their reported throughputs are NoC-bound).  Scripts loop, so workloads
+are measured in steady state over a fixed window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.noc.config import NocConfig
+from repro.noc.network import NocNetwork, TileSpec
+from repro.noc.topology import Mesh2D
+from repro.traffic.dnn.layers import ConvLayer, Layer
+from repro.traffic.dnn.mobilenet import conv_layers_mobilenet, mobilenet_v1
+from repro.traffic.dnn.resnet import conv_layers, resnet34
+from repro.traffic.dnn.script import CoreScript, Event, install_scripts
+
+#: Grid position of the shared L2 tile (matches the synthetic hot spot).
+L2_COORDS = (2, 1)
+
+#: Workload networks: name → (full layer list builder, conv-only builder).
+#: The paper evaluates ResNet-34; MobileNetV1 is an extension (see
+#: :mod:`repro.traffic.dnn.mobilenet`).
+MODELS = {
+    "resnet34": (resnet34, conv_layers),
+    "mobilenet_v1": (mobilenet_v1, conv_layers_mobilenet),
+}
+
+
+def _model_layers(model: str, shrink: float, input_hw: int,
+                  convs_only: bool):
+    try:
+        full, convs = MODELS[model]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {model!r}; choose from {sorted(MODELS)}") from None
+    builder = convs if convs_only else full
+    return builder(shrink=shrink, input_hw=input_hw)
+
+
+@dataclass
+class DnnWorkload:
+    """A ready-to-install workload: tile placement plus per-core scripts."""
+
+    key: str
+    title: str
+    tiles: list[TileSpec]
+    scripts: dict[int, list[tuple]]
+    l2_endpoint: int
+    events: dict[str, Event] = field(default_factory=dict)
+    loop: bool = True
+
+    def build_network(self, cfg: NocConfig, **net_kwargs) -> NocNetwork:
+        return NocNetwork(cfg, tiles=self.tiles, **net_kwargs)
+
+    def install(self, net: NocNetwork) -> list[CoreScript]:
+        return install_scripts(net, self.scripts, loop=self.loop)
+
+
+def _dnn_tiles(cfg: NocConfig) -> tuple[list[TileSpec], int]:
+    """16 compute tiles (DMA + L1) plus one shared L2 slave tile."""
+    topo = Mesh2D(cfg.rows, cfg.cols)
+    tiles = [TileSpec(node=n, name=f"core{n}") for n in range(cfg.n_nodes)]
+    l2_node = topo.node(*L2_COORDS) if cfg.rows >= 2 and cfg.cols >= 3 else 0
+    tiles.append(TileSpec(node=l2_node, name="l2", has_dma=False,
+                          has_memory=True, memory_bytes=64 << 20))
+    return tiles, cfg.n_nodes
+
+
+def _compute_cycles(macs: int, macs_per_cycle: int | None,
+                    share: int = 1) -> int:
+    if macs_per_cycle is None:
+        return 0
+    return max(1, macs // (macs_per_cycle * share))
+
+
+def _snake_order(topo: Mesh2D) -> list[int]:
+    """Boustrophedon node order so consecutive cores are mesh neighbours
+    (the Fig. 7c arrangement: 0..3 / 7..4 / 8..11 / 15..12)."""
+    order = []
+    for y in range(topo.rows):
+        xs = range(topo.cols) if y % 2 == 0 else range(topo.cols - 1, -1, -1)
+        order.extend(topo.node(x, y) for x in xs)
+    return order
+
+
+# ----------------------------------------------------------------------
+# a) distributed training
+# ----------------------------------------------------------------------
+def distributed_training(cfg: NocConfig, *, shrink: float = 0.9,
+                         input_hw: int = 224, model: str = "resnet34",
+                         macs_per_cycle: int | None = None) -> DnnWorkload:
+    """Data-parallel ResNet-34 training on all cores (Fig. 7a).
+
+    The model is replicated across cores ("Model Replication") with
+    weights resident in L1 (the shrunk ResNet-34 fits).  Per batch each
+    core
+
+    * reads its minibatch shard from L2 (L2→L1),
+    * computes forward and backward locally ("Independent FWDs/BWDs" —
+      activations stay in L1),
+    * joins a hierarchical gradient reduction along the mesh snake:
+      log₂(N) rounds of L1→L1 gradient sends towards the root core
+      ("Weight Updates (Reduction Step)"),
+    * the root writes the updated model to the shared L2 (L1→L2), and
+    * every core reads the new weights back (L2→L1 — the replication).
+
+    This produces the paper's "mix of L2 to L1 (core), L1 (core) to L2,
+    and L1 (core) to L1 (core) transfers".
+    """
+    tiles, l2 = _dnn_tiles(cfg)
+    layers = _model_layers(model, shrink, input_hw, convs_only=False)
+    n_cores = cfg.n_nodes
+    topo = Mesh2D(cfg.rows, cfg.cols)
+    chain = _snake_order(topo)
+    snake_pos = {core: k for k, core in enumerate(chain)}
+    weight_bytes = sum(l.weight_bytes for l in layers)
+    input_bytes = max(1, layers[0].in_act_bytes // n_cores)
+    weights_off = 0
+    input_off = _round_up(weight_bytes, 4096)
+    n_rounds = max(1, (n_cores - 1).bit_length())
+    events = {f"red{k}_{r}": Event(f"red{k}_{r}")
+              for k in range(n_cores) for r in range(n_rounds)}
+    ev_weights = Event("weights_ready")
+    scripts: dict[int, list[tuple]] = {}
+    for core in range(n_cores):
+        pos = snake_pos[core]
+        ops: list[tuple] = []
+        # Minibatch shard in, forward + backward compute local.
+        ops.append(("read", l2, input_off, input_bytes))
+        for layer in layers:
+            ops.append(("compute",
+                        _compute_cycles(layer.macs, macs_per_cycle)))
+        for layer in reversed(layers):
+            ops.append(("compute",
+                        2 * _compute_cycles(layer.macs, macs_per_cycle)))
+        # Hierarchical reduction along the snake: in round r, positions
+        # with bit r set send their (partially reduced) gradients to the
+        # position 2**r below and drop out; receivers wait, reduce, and
+        # continue.
+        for r in range(n_rounds):
+            stride = 1 << r
+            if pos % (2 * stride) == stride:
+                partner = chain[pos - stride]
+                ops.append(("write_async", partner, 0, weight_bytes,
+                            events[f"red{snake_pos[partner]}_{r}"]))
+                ops.append(("drain",))
+                break  # sent up the tree; wait for the new model below
+            if pos % (2 * stride) == 0 and pos + stride < n_cores:
+                ops.append(("await_next", events[f"red{pos}_{r}"], 1))
+                ops.append(("compute",
+                            _compute_cycles(weight_bytes, macs_per_cycle)))
+        if pos == 0:
+            # Root: write the updated model to L2 and publish it.
+            ops.append(("write", l2, weights_off, weight_bytes))
+            ops.append(("signal", ev_weights))
+        # Model replication: everyone pulls the new weights from L2.
+        ops.append(("await_next", ev_weights, 1))
+        ops.append(("read", l2, weights_off, weight_bytes))
+        scripts[core] = ops
+    wl = DnnWorkload(key="train", title="Distributed Training",
+                     tiles=tiles, scripts=scripts, l2_endpoint=l2)
+    wl.events.update(events)
+    wl.events["weights_ready"] = ev_weights
+    return wl
+
+
+# ----------------------------------------------------------------------
+# b) parallelized convolution
+# ----------------------------------------------------------------------
+def parallel_conv(cfg: NocConfig, *, shrink: float = 0.9,
+                  input_hw: int = 224, model: str = "resnet34",
+                  macs_per_cycle: int | None = None) -> DnnWorkload:
+    """Layer-parallel CNN inference: every layer tiled over all cores
+    (Fig. 7b) — pure L2↔L1 traffic, a barrier between layers."""
+    tiles, l2 = _dnn_tiles(cfg)
+    layers = _model_layers(model, shrink, input_hw, convs_only=True)
+    n_cores = cfg.n_nodes
+    l2_offsets = _l2_layout(layers)
+    barrier = Event("layer_barrier")
+    scripts: dict[int, list[tuple]] = {}
+    for core in range(n_cores):
+        ops: list[tuple] = []
+        for layer in layers:
+            in_tile = max(1, layer.in_act_bytes // n_cores)
+            out_tile = max(1, layer.out_act_bytes // n_cores)
+            ops.append(("read", l2, l2_offsets[layer.name], in_tile))
+            ops.append(("read", l2, l2_offsets[layer.name],
+                        layer.weight_bytes))
+            ops.append(("compute",
+                        _compute_cycles(layer.macs, macs_per_cycle, n_cores)))
+            ops.append(("write", l2, l2_offsets[layer.name], out_tile))
+            ops.append(("signal", barrier))
+            ops.append(("await_next", barrier, n_cores))
+        scripts[core] = ops
+    wl = DnnWorkload(key="par", title="Parallelized Convolution",
+                     tiles=tiles, scripts=scripts, l2_endpoint=l2)
+    wl.events["barrier"] = barrier
+    return wl
+
+
+# ----------------------------------------------------------------------
+# c) pipelined convolution
+# ----------------------------------------------------------------------
+def pipelined_conv(cfg: NocConfig, *, shrink: float = 0.9,
+                   input_hw: int = 224, tiles_per_image: int = 8,
+                   buffers: int = 4, model: str = "resnet34",
+                   macs_per_cycle: int | None = None) -> DnnWorkload:
+    """Depth-first CNN inference: layer groups chained along a mesh snake
+    (Fig. 7c) — predominantly L1→L1 neighbour traffic.
+
+    ``buffers`` tiles may be in flight per stage (multi-buffering), the
+    standard depth-first pipelining that keeps every link streaming.
+    """
+    tiles, l2 = _dnn_tiles(cfg)
+    layers = _model_layers(model, shrink, input_hw, convs_only=True)
+    topo = Mesh2D(cfg.rows, cfg.cols)
+    chain = _snake_order(topo)
+    n_stages = len(chain)
+    # In communication-replay mode (no compute model) balance the stages
+    # by the bytes they emit — that is what equalises link load along the
+    # pipeline; with a compute model, balance MACs like a real mapper.
+    if macs_per_cycle is None:
+        weight = lambda l: l.out_act_bytes  # noqa: E731
+    else:
+        weight = lambda l: l.macs  # noqa: E731
+    groups = _balance_layers(layers, n_stages, weight)
+    events = {f"in{k}": Event(f"in{k}") for k in range(n_stages)}
+    scripts: dict[int, list[tuple]] = {}
+    for stage, core in enumerate(chain):
+        group = groups[stage]
+        group_macs = sum(l.macs for l in group)
+        out_bytes = group[-1].out_act_bytes if group else 1
+        in_bytes = group[0].in_act_bytes if group else 1
+        tile_out = max(1, out_bytes // tiles_per_image)
+        tile_in = max(1, in_bytes // tiles_per_image)
+        ops: list[tuple] = []
+        if stage == 0:
+            ops.append(("read_async", l2, 0, tile_in, None))
+        else:
+            ops.append(("await_next", events[f"in{stage}"], 1))
+        ops.append(("compute",
+                    _compute_cycles(group_macs // tiles_per_image,
+                                    macs_per_cycle)))
+        if stage == n_stages - 1:
+            ops.append(("write_async", l2, 0, tile_out, None))
+        else:
+            next_core = chain[stage + 1]
+            ops.append(("write_async", next_core, 0, tile_out,
+                        events[f"in{stage + 1}"]))
+        ops.append(("throttle", buffers))
+        scripts[core] = ops
+    wl = DnnWorkload(key="pipe", title="Pipelined Convolution",
+                     tiles=tiles, scripts=scripts, l2_endpoint=l2)
+    wl.events.update(events)
+    return wl
+
+
+WORKLOADS = {
+    "train": distributed_training,
+    "par": parallel_conv,
+    "pipe": pipelined_conv,
+}
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _l2_layout(layers: list[Layer]) -> dict[str, int]:
+    """Assign every layer a disjoint L2 offset for weights/activations."""
+    offsets: dict[str, int] = {}
+    cursor = 0
+    for layer in layers:
+        offsets[layer.name] = cursor
+        need = layer.weight_bytes
+        if isinstance(layer, ConvLayer):
+            need = max(need, layer.in_act_bytes, layer.out_act_bytes)
+        cursor += _round_up(need, 4096)
+    return offsets
+
+
+def _round_up(x: int, quantum: int) -> int:
+    return (x + quantum - 1) // quantum * quantum
+
+
+def _balance_layers(layers: list[ConvLayer], n_stages: int,
+                    weight=None) -> list[list[ConvLayer]]:
+    """Greedy contiguous partition of layers into weight-balanced groups."""
+    if n_stages < 1:
+        raise ValueError("need at least one stage")
+    if weight is None:
+        weight = lambda l: l.macs  # noqa: E731
+    if len(layers) < n_stages:
+        raise ValueError(
+            f"cannot spread {len(layers)} layers over {n_stages} stages")
+    total = sum(weight(l) for l in layers)
+    target = total / n_stages
+    groups: list[list[ConvLayer]] = [[] for _ in range(n_stages)]
+    stage = 0
+    acc = 0
+    for idx, layer in enumerate(layers):
+        remaining = len(layers) - idx  # layers left, including this one
+        stages_after = n_stages - stage - 1
+        if groups[stage] and stages_after > 0:
+            # Must advance when later stages need one layer each; may
+            # advance when the current stage is full enough.
+            must = remaining == stages_after
+            may = (acc + weight(layer) / 2 > target
+                   and remaining > stages_after)
+            if must or may:
+                stage += 1
+                acc = 0
+        groups[stage].append(layer)
+        acc += weight(layer)
+    return groups

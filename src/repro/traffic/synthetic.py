@@ -1,0 +1,114 @@
+"""The three synthetic traffic patterns of Fig. 5 and their networks.
+
+a) **all global access** — every master addresses one shared slave
+   endpoint at node (2, 1): predominantly global traffic into one hot
+   spot (a single shared L2).
+b) **max two-hop access** — slaves at the four centre nodes (1,1), (2,1),
+   (1,2), (2,2) model a distributed shared L2/L1; masters only address
+   slaves at most two hops away.
+c) **max one-hop access** — slaves at the eight non-corner edge nodes;
+   masters only address slaves at most one hop away (data scheduled onto
+   nearby cores, as DNN mappers do).
+
+The networks these patterns run on differ from the uniform-random one:
+the 16 compute tiles are master-only (their private L1 is behind the
+accelerator, not NoC-addressable — Fig. 5 left), and the slaves are
+dedicated memory tiles sharing the designated XPs' local ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.noc.config import NocConfig
+from repro.noc.network import NocNetwork, TileSpec
+from repro.traffic.base import RandomTraffic
+
+
+@dataclass(frozen=True)
+class SyntheticPattern:
+    """One of the Fig. 5 patterns, in grid coordinates."""
+
+    key: str
+    title: str
+    slave_coords: tuple[tuple[int, int], ...]
+    max_hops: int | None  # None = unrestricted ("all global")
+
+
+ALL_GLOBAL = SyntheticPattern(
+    key="all_global",
+    title="All Global Access",
+    slave_coords=((2, 1),),
+    max_hops=None,
+)
+
+MAX_TWO_HOP = SyntheticPattern(
+    key="two_hop",
+    title="Max 2 Hop Access",
+    slave_coords=((1, 1), (2, 1), (1, 2), (2, 2)),
+    max_hops=2,
+)
+
+MAX_ONE_HOP = SyntheticPattern(
+    key="one_hop",
+    title="Max 1 Hop Access",
+    slave_coords=((1, 0), (2, 0), (0, 1), (3, 1), (0, 2), (3, 2), (1, 3), (2, 3)),
+    max_hops=1,
+)
+
+PATTERNS = {p.key: p for p in (ALL_GLOBAL, MAX_TWO_HOP, MAX_ONE_HOP)}
+
+
+def build_synthetic_network(cfg: NocConfig, pattern: SyntheticPattern,
+                            **net_kwargs) -> tuple[NocNetwork, list[int]]:
+    """Build the Fig. 5 network for ``pattern``.
+
+    Returns the network and the endpoint indices of the slave tiles.
+    The compute tiles occupy endpoint indices ``0 .. n_nodes-1`` (master
+    only); slave tiles follow.
+    """
+    from repro.noc.topology import Mesh2D
+
+    topo = Mesh2D(cfg.rows, cfg.cols)
+    tiles = [TileSpec(node=n, name=f"core{n}", has_dma=True, has_memory=False)
+             for n in range(cfg.n_nodes)]
+    slaves = []
+    for k, (x, y) in enumerate(pattern.slave_coords):
+        node = topo.node(x, y)
+        tiles.append(TileSpec(node=node, name=f"l2_{k}", has_dma=False,
+                              has_memory=True))
+        slaves.append(cfg.n_nodes + k)
+    net = NocNetwork(cfg, tiles=tiles, **net_kwargs)
+    return net, slaves
+
+
+def synthetic_traffic(net: NocNetwork, pattern: SyntheticPattern,
+                      load: float, max_burst_bytes: int,
+                      **traffic_kwargs) -> RandomTraffic:
+    """Random traffic restricted to ``pattern``'s hop limit.
+
+    Each master's candidate set is the slaves within ``max_hops`` of its
+    node (0 hops = a slave sharing the master's XP, reached through the
+    local port).
+    """
+    slaves = [t.index for t in net.tiles if t.memory is not None]
+    if not slaves:
+        raise ValueError("synthetic network has no slave tiles")
+    candidates: dict[int, list[int]] = {}
+    for master in net.dma_endpoints():
+        master_node = net.node_of(master)
+        if pattern.max_hops is None:
+            options = list(slaves)
+        else:
+            options = [
+                s for s in slaves
+                if net.topology.hop_distance(master_node, net.node_of(s))
+                <= pattern.max_hops
+            ]
+        if not options:
+            raise ValueError(
+                f"master {master} at node {master_node} has no slave within "
+                f"{pattern.max_hops} hops — pattern placement is wrong")
+        candidates[master] = options
+    return RandomTraffic(net, candidates, load, max_burst_bytes,
+                         **traffic_kwargs)

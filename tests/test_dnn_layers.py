@@ -1,0 +1,101 @@
+"""Tests for the DNN layer model and the ResNet-34 builder."""
+
+import pytest
+
+from repro.traffic.dnn.layers import (
+    ConvLayer,
+    FcLayer,
+    total_macs,
+    total_weight_bytes,
+)
+from repro.traffic.dnn.resnet import (
+    RESNET34_STAGES,
+    conv_layers,
+    resnet34,
+)
+
+
+class TestConvLayer:
+    def test_shapes_and_counts(self):
+        conv = ConvLayer("c", in_ch=3, out_ch=8, kernel=3, stride=1,
+                         in_h=32, in_w=32, padding=1)
+        assert conv.out_h == 32 and conv.out_w == 32
+        assert conv.weight_bytes == 8 * 3 * 9
+        assert conv.in_act_bytes == 3 * 32 * 32
+        assert conv.out_act_bytes == 8 * 32 * 32
+        assert conv.macs == 32 * 32 * 8 * 3 * 9
+
+    def test_strided_output(self):
+        conv = ConvLayer("c", in_ch=4, out_ch=4, kernel=3, stride=2,
+                         in_h=56, in_w=56, padding=1)
+        assert conv.out_h == 28
+
+    def test_seven_by_seven_stem(self):
+        stem = ConvLayer("stem", in_ch=3, out_ch=64, kernel=7, stride=2,
+                         in_h=224, in_w=224, padding=3)
+        assert stem.out_h == 112
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvLayer("c", in_ch=0, out_ch=1, kernel=3, stride=1,
+                      in_h=8, in_w=8)
+
+
+class TestFcLayer:
+    def test_counts(self):
+        fc = FcLayer("fc", in_features=512, out_features=1000)
+        assert fc.weight_bytes == 512_000
+        assert fc.macs == 512_000
+        assert fc.out_act_bytes == 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FcLayer("fc", in_features=0, out_features=10)
+
+
+class TestResNet34:
+    def test_structure(self):
+        layers = resnet34(shrink=0.0)
+        convs = [l for l in layers if isinstance(l, ConvLayer)]
+        # 1 stem + 2×(3+4+6+3) block convs + 3 downsample projections.
+        assert len(convs) == 1 + 2 * sum(RESNET34_STAGES) + 3
+        assert isinstance(layers[-1], FcLayer)
+
+    def test_unshrunk_parameter_count_plausible(self):
+        """ResNet-34 has ≈21.3M conv+fc weights (int8 → bytes)."""
+        weights = total_weight_bytes(resnet34(shrink=0.0))
+        assert 19e6 < weights < 23e6
+
+    def test_unshrunk_macs_plausible(self):
+        """ResNet-34 is ≈3.6 GMACs at 224×224."""
+        macs = total_macs(resnet34(shrink=0.0))
+        assert 3.0e9 < macs < 4.2e9
+
+    def test_shrink_reduces_size_monotonically(self):
+        sizes = [total_weight_bytes(resnet34(shrink=s))
+                 for s in (0.0, 0.5, 0.9)]
+        assert sizes[0] > sizes[1] > sizes[2]
+
+    def test_ninety_percent_shrink_scale(self):
+        """90% shrink ⇒ ~1% of the weights (both channel dims × 0.1)."""
+        full = total_weight_bytes(resnet34(shrink=0.0))
+        tiny = total_weight_bytes(resnet34(shrink=0.9))
+        assert tiny < 0.05 * full
+
+    def test_spatial_dims_chain_consistently(self):
+        convs = conv_layers(shrink=0.9)
+        for prev, cur in zip(convs, convs[1:]):
+            if "downsample" in cur.name or prev.name == "conv1":
+                # A max-pool sits between the stem and stage 1.
+                continue
+            assert cur.in_h in (prev.out_h, prev.out_h * cur.stride), (
+                f"{prev.name} -> {cur.name}")
+
+    def test_input_size_variants(self):
+        small = resnet34(shrink=0.9, input_hw=112)
+        big = resnet34(shrink=0.9, input_hw=224)
+        assert total_macs(small) < total_macs(big)
+
+    def test_invalid_shrink(self):
+        with pytest.raises(ValueError):
+            resnet34(shrink=1.0)

@@ -1,0 +1,67 @@
+"""Tests for the activity-based energy meter."""
+
+import pytest
+
+from repro.models.energy import EnergyMeter, energy_per_byte_pj
+from repro.models.power import mesh_power_mw
+from repro.noc.config import NocConfig
+from repro.noc.network import NocNetwork
+from repro.traffic.uniform import uniform_random
+
+
+def run_window(cfg, load, cycles=8000, burst=10_000):
+    net = NocNetwork(cfg)
+    if load > 0:
+        uniform_random(net, load=load, max_burst_bytes=burst,
+                       seed=2).install()
+    meter = EnergyMeter(net)
+    net.run(2000)  # reach steady state first
+    meter.open_window()
+    net.run(cycles)
+    return net, meter.report()
+
+
+class TestEnergyMeter:
+    def test_idle_power_is_static_only(self):
+        _net, report = run_window(NocConfig.slim(), load=0.0)
+        assert report.dynamic_mw == 0.0
+        assert report.static_mw > 0
+
+    def test_power_grows_with_load(self):
+        _n1, low = run_window(NocConfig.slim(), load=0.1)
+        _n2, high = run_window(NocConfig.slim(), load=1.0)
+        assert high.dynamic_mw > low.dynamic_mw
+        assert high.beats_per_cycle > low.beats_per_cycle
+
+    def test_saturated_power_near_static_model_anchor(self):
+        """At saturation the measured power should land near the static
+        model's uniform-random anchor (which is what §III reports)."""
+        _net, report = run_window(NocConfig.slim(), load=1.0, cycles=12_000)
+        anchor = mesh_power_mw(NocConfig.slim())
+        assert report.total_mw == pytest.approx(anchor, rel=0.25)
+
+    def test_wide_noc_uses_more_power(self):
+        _n1, slim = run_window(NocConfig.slim(), load=1.0)
+        _n2, wide = run_window(NocConfig.wide(), load=1.0)
+        assert wide.total_mw > slim.total_mw
+
+    def test_energy_accounting(self):
+        _net, report = run_window(NocConfig.slim(), load=0.5)
+        # P(mW) over N cycles at 1 GHz: E = P * 1e-3 * N * 1e-9 J.
+        expected_uj = report.total_mw * 1e-3 * report.window_cycles * 1e-9 * 1e6
+        assert report.energy_uj() == pytest.approx(expected_uj)
+
+    def test_energy_per_byte(self):
+        net, report = run_window(NocConfig.slim(), load=1.0)
+        pj = energy_per_byte_pj(report, net.total_bytes())
+        # Edge NoCs land in the 0.1..100 pJ/B class.
+        assert 0.01 < pj < 1000
+        with pytest.raises(ValueError):
+            energy_per_byte_pj(report, 0)
+
+    def test_report_before_window_raises(self):
+        net = NocNetwork(NocConfig.slim())
+        meter = EnergyMeter(net)
+        meter.open_window()
+        with pytest.raises(RuntimeError):
+            meter.report()

@@ -1,0 +1,124 @@
+"""Tests for the evaluation harness: registry, reports, fast experiments."""
+
+import pytest
+
+from repro.eval.experiments import EXPERIMENTS, run_all, run_experiment
+from repro.eval.report import ExperimentResult, render_text, save_csv
+from repro.eval.runner import (
+    run_baseline_point,
+    run_synthetic_point,
+    run_uniform_point,
+    windows,
+)
+from repro.noc.config import NocConfig
+from repro.traffic.synthetic import MAX_ONE_HOP
+
+
+class TestRegistry:
+    def test_covers_every_table_and_figure(self):
+        """One entry per evaluation artefact of the paper (DESIGN.md §4)."""
+        assert set(EXPERIMENTS) == {
+            "table1", "fig2", "fig3", "fig4", "fig6", "fig8", "table2",
+            "power"}
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestModelExperiments:
+    """The synthesis-model experiments are fast enough to run fully."""
+
+    def test_fig2(self):
+        result = run_experiment("fig2")
+        assert len(result.sections) == 3
+        headline = result.sections[2]
+        gains = {row[0]: row[1] for row in headline.rows}
+        assert gains["PATRONoC area-efficiency gain"] == "34%"
+
+    def test_fig3(self):
+        result = run_experiment("fig3")
+        mot_rows = result.sections[1].rows
+        areas = [row[1] for row in mot_rows]
+        assert areas == sorted(areas)  # monotone in MOT
+
+    def test_table1(self):
+        result = run_experiment("table1")
+        assert len(result.sections[0].rows) == 9  # Table I rows
+
+    def test_power(self):
+        result = run_experiment("power")
+        dw_to_power = {row[0]: row[1] for row in result.sections[0].rows}
+        assert dw_to_power[32] == pytest.approx(45.0, abs=0.5)
+        assert dw_to_power[512] == pytest.approx(171.0, abs=0.5)
+        for row in result.sections[1].rows:
+            assert row[2] < 10.0  # platform fraction below 10 %
+
+
+class TestRunners:
+    def test_windows(self):
+        assert windows(False)[1] > windows(True)[1]
+
+    def test_uniform_point(self):
+        point = run_uniform_point(NocConfig.slim(), 0.5, 1000,
+                                  warmup=1000, window=3000)
+        assert point.throughput_gib_s > 0
+
+    def test_synthetic_point_has_utilization(self):
+        point = run_synthetic_point(NocConfig.slim(), MAX_ONE_HOP, 1000,
+                                    warmup=1000, window=3000)
+        assert point.utilization_pct is not None
+        assert point.utilization_pct > 0
+
+    def test_baseline_point(self):
+        point = run_baseline_point(0.1, n_vcs=1, buf_depth=4,
+                                   warmup=1000, window=3000)
+        assert 0 < point.throughput_gib_s < 2.0
+        assert point.extra["aggregate_gib_s"] == pytest.approx(
+            16 * point.throughput_gib_s, rel=1e-6)
+
+
+class TestReportRendering:
+    def make_result(self):
+        result = ExperimentResult("figX", "demo")
+        sec = result.section("numbers", ["name", "value"])
+        sec.add("alpha", 1.2345)
+        sec.add("beta", 12345.6)
+        result.note("a note")
+        return result
+
+    def test_render_text(self):
+        text = render_text(self.make_result())
+        assert "FIGX" in text
+        assert "alpha" in text
+        assert "note: a note" in text
+
+    def test_row_width_checked(self):
+        result = ExperimentResult("figX", "demo")
+        sec = result.section("numbers", ["a", "b"])
+        with pytest.raises(ValueError):
+            sec.add(1)
+
+    def test_save_csv(self, tmp_path):
+        paths = save_csv(self.make_result(), tmp_path)
+        assert len(paths) == 1
+        content = paths[0].read_text().splitlines()
+        assert content[0] == "name,value"
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.cli import main
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "table2" in out
+
+    def test_run_fig2(self, capsys):
+        from repro.cli import main
+        assert main(["run", "fig2"]) == 0
+        assert "34%" in capsys.readouterr().out
+
+    def test_run_with_csv(self, tmp_path, capsys):
+        from repro.cli import main
+        assert main(["run", "table1", "--csv", str(tmp_path)]) == 0
+        assert list(tmp_path.glob("table1_*.csv"))

@@ -1,0 +1,85 @@
+"""Tests for the cycle-driven simulation kernel."""
+
+import pytest
+
+from repro.sim.kernel import Component, Simulator
+
+
+class Ticker(Component):
+    def __init__(self):
+        self.ticks = []
+
+    def step(self, now):
+        self.ticks.append(now)
+
+
+class TestSimulator:
+    def test_runs_requested_cycles(self):
+        sim = Simulator()
+        ticker = sim.add(Ticker())
+        assert sim.run(10) == 10
+        assert ticker.ticks == list(range(10))
+
+    def test_run_resumes_from_now(self):
+        sim = Simulator()
+        ticker = sim.add(Ticker())
+        sim.run(3)
+        sim.run(2)
+        assert ticker.ticks == [0, 1, 2, 3, 4]
+
+    def test_until_stops_early(self):
+        sim = Simulator()
+        sim.add(Ticker())
+        sim.run(100, until=lambda now: now >= 7)
+        assert sim.now == 7
+
+    def test_components_step_in_registration_order(self):
+        order = []
+
+        class Probe(Component):
+            def __init__(self, tag):
+                self.tag = tag
+
+            def step(self, now):
+                order.append(self.tag)
+
+        sim = Simulator()
+        sim.add(Probe("a"))
+        sim.add(Probe("b"))
+        sim.run(1)
+        assert order == ["a", "b"]
+
+    def test_extend_registers_all(self):
+        sim = Simulator()
+        sim.extend([Ticker(), Ticker()])
+        assert len(sim.components) == 2
+
+    def test_seconds_conversion(self):
+        sim = Simulator(freq_hz=1e9)
+        sim.run(1000)
+        assert sim.seconds() == pytest.approx(1e-6)
+        assert sim.seconds(2_000_000_000) == pytest.approx(2.0)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().run(-1)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(freq_hz=0)
+
+    def test_finalize_hook(self):
+        seen = []
+
+        class Fin(Component):
+            def step(self, now):
+                pass
+
+            def finalize(self, now):
+                seen.append(now)
+
+        sim = Simulator()
+        sim.add(Fin())
+        sim.run(5)
+        sim.finalize()
+        assert seen == [5]

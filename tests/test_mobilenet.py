@@ -1,0 +1,75 @@
+"""Tests for the MobileNetV1 model and grouped convolutions."""
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.traffic.dnn.layers import ConvLayer, total_macs, total_weight_bytes
+from repro.traffic.dnn.mobilenet import MOBILENET_BLOCKS, conv_layers_mobilenet, mobilenet_v1
+from repro.traffic.dnn.workloads import MODELS, parallel_conv, pipelined_conv
+
+
+class TestGroupedConv:
+    def test_depthwise_counts(self):
+        dw = ConvLayer("dw", in_ch=32, out_ch=32, kernel=3, stride=1,
+                       in_h=56, in_w=56, groups=32)
+        assert dw.weight_bytes == 32 * 9          # one filter per channel
+        assert dw.macs == 56 * 56 * 32 * 9        # no in_ch factor
+        dense = ConvLayer("d", in_ch=32, out_ch=32, kernel=3, stride=1,
+                          in_h=56, in_w=56)
+        assert dense.macs == 32 * dw.macs
+
+    def test_groups_must_divide_channels(self):
+        with pytest.raises(ValueError):
+            ConvLayer("bad", in_ch=30, out_ch=32, kernel=3, stride=1,
+                      in_h=8, in_w=8, groups=4)
+
+
+class TestMobileNetV1:
+    def test_structure(self):
+        layers = mobilenet_v1()
+        convs = [l for l in layers if isinstance(l, ConvLayer)]
+        assert len(convs) == 1 + 2 * len(MOBILENET_BLOCKS)
+        # Every block is a depthwise (grouped) conv then a 1x1 pointwise.
+        for k in range(len(MOBILENET_BLOCKS)):
+            dw, pw = convs[1 + 2 * k], convs[2 + 2 * k]
+            assert dw.groups == dw.in_ch == dw.out_ch
+            assert pw.kernel == 1 and pw.groups == 1
+
+    def test_unshrunk_footprint_plausible(self):
+        """MobileNetV1: ≈4.2M params, ≈568 MMACs at 224×224."""
+        layers = mobilenet_v1()
+        assert 3.5e6 < total_weight_bytes(layers) < 5.0e6
+        assert 0.5e9 < total_macs(layers) < 0.65e9
+
+    def test_width_multiplier(self):
+        half = total_macs(mobilenet_v1(shrink=0.5))
+        full = total_macs(mobilenet_v1(shrink=0.0))
+        assert half < 0.4 * full  # MACs scale ~quadratically in width
+
+    def test_registered_as_workload_model(self):
+        assert "mobilenet_v1" in MODELS
+
+    def test_workloads_run_on_mobilenet(self):
+        cfg = NocConfig.slim()
+        for builder in (parallel_conv, pipelined_conv):
+            wl = builder(cfg, model="mobilenet_v1", shrink=0.5)
+            net = wl.build_network(cfg)
+            wl.install(net)
+            net.run(4000)
+            assert net.total_bytes() > 0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_conv(NocConfig.slim(), model="alexnet")
+
+    def test_depthwise_dominated_traffic_differs_from_resnet(self):
+        """MobileNet's weight:activation byte ratio is far smaller than
+        ResNet's — the property that changes the NoC traffic mix."""
+        from repro.traffic.dnn.resnet import conv_layers
+        mob = conv_layers_mobilenet(shrink=0.0)
+        res = conv_layers(shrink=0.0)
+        mob_ratio = (total_weight_bytes(mob)
+                     / sum(l.out_act_bytes for l in mob))
+        res_ratio = (total_weight_bytes(res)
+                     / sum(l.out_act_bytes for l in res))
+        assert mob_ratio < res_ratio / 2

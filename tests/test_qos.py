@@ -1,0 +1,67 @@
+"""Tests for QoS-priority arbitration in the crossbar."""
+
+import pytest
+
+from repro.axi.transaction import Transfer
+from repro.axi.xbar import AxiCrossbar
+from repro.noc.config import NocConfig
+from repro.noc.network import NocNetwork
+from repro.traffic.uniform import uniform_random
+
+
+class TestValidation:
+    def test_priority_length_checked(self):
+        with pytest.raises(ValueError):
+            AxiCrossbar("dut", 2, 1, lambda b, i: 0, id_width=2,
+                        priorities=[1])
+
+
+class TestContention:
+    def contended_throughput(self, priorities):
+        """Three masters issue read streams against one slave through
+        one XP; return per-master completed-transfer counts.  Reads are
+        the channel where QoS bites: AR grants compete every cycle
+        (writes are equalised at burst granularity by W-coupled
+        forwarding — faithful AXI behaviour)."""
+        cfg = NocConfig(rows=1, cols=1, id_width=4)
+        from repro.noc.network import TileSpec
+        tiles = [TileSpec(node=0, name=f"m{k}", has_memory=False)
+                 for k in range(3)]
+        tiles.append(TileSpec(node=0, name="slave", has_dma=False,
+                              has_memory=True))
+        net = NocNetwork(cfg, tiles=tiles)
+        if priorities is not None:
+            # local ports 4,5,6 are the masters, 7 the slave.
+            net.xps[0].priorities = priorities
+        for k in range(3):
+            for _ in range(120):
+                net.dmas[k].submit(Transfer(
+                    src=k, addr=net.addr_of(3, 0), nbytes=512,
+                    is_read=True))
+        net.run(20_000)
+        return [net.dmas[k].transfers_completed for k in range(3)]
+
+    def test_round_robin_is_fair(self):
+        counts = self.contended_throughput(None)
+        assert max(counts) - min(counts) <= 2
+
+    def test_priority_wins_contention(self):
+        # Ports: 0..3 mesh (unused on a 1x1), 4..6 masters, 7 slave.
+        prio = [0, 0, 0, 0, 5, 0, 0, 0]
+        counts = self.contended_throughput(prio)
+        assert counts[0] > counts[1]
+        assert counts[0] > counts[2]
+
+    def test_priority_network_still_delivers_everything(self):
+        cfg = NocConfig(rows=2, cols=2)
+        net = NocNetwork(cfg)
+        for xp in net.xps:
+            xp.priorities = [0] * xp.n_in
+            xp.priorities[4] = 3  # favour local ingress everywhere
+        uniform_random(net, load=0.5, max_burst_bytes=1000,
+                       seed=8).install()
+        net.run(5000)
+        before = net.total_bytes()
+        assert before > 0
+        net.run(5000)
+        assert net.total_bytes() > before  # forward progress preserved

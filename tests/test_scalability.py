@@ -1,0 +1,77 @@
+"""Scalability smoke tests: larger meshes build and behave sanely."""
+
+import pytest
+
+from repro.models.area import mesh_area_kge
+from repro.noc.config import NocConfig
+from repro.noc.network import NocNetwork
+from repro.traffic.uniform import uniform_random
+
+
+class TestLargerMeshes:
+    def test_6x6_builds_and_delivers(self):
+        cfg = NocConfig(rows=6, cols=6, id_width=6)
+        net = NocNetwork(cfg)
+        assert len(net.xps) == 36
+        uniform_random(net, load=0.3, max_burst_bytes=1000,
+                       seed=1).install()
+        net.run(3000)
+        assert net.total_bytes() > 0
+
+    def test_8x8_constructs(self):
+        cfg = NocConfig(rows=8, cols=8, id_width=6)
+        net = NocNetwork(cfg)
+        assert len(net.xps) == 64
+        # 2 endpoint links per tile + 2 directed links per mesh edge.
+        assert len(net.links) == 2 * 64 + 2 * (2 * 7 * 8)
+
+    def test_rectangular_meshes(self):
+        for rows, cols in ((2, 8), (8, 2), (3, 5)):
+            cfg = NocConfig(rows=rows, cols=cols,
+                            id_width=max(4, (rows * cols - 1).bit_length()))
+            net = NocNetwork(cfg)
+            uniform_random(net, load=0.2, max_burst_bytes=500,
+                           seed=2).install()
+            net.run(2000)
+            assert net.total_bytes() > 0
+
+    def test_area_scaling_with_nodes(self):
+        """Total area grows with the mesh; per-node area grows once the
+        fixed per-mesh overhead has amortised (4x4 → 8x8: higher-degree
+        XPs dominate)."""
+        totals = {}
+        per_node = {}
+        for n in (2, 4, 8):
+            cfg = NocConfig(rows=n, cols=n, id_width=6)
+            totals[n] = mesh_area_kge(cfg)
+            per_node[n] = totals[n] / (n * n)
+        assert totals[2] < totals[4] < totals[8]
+        assert per_node[8] > per_node[4]
+
+    def test_saturation_scales_with_mesh_size(self):
+        """Aggregate saturation throughput grows from 2x2 to 4x4."""
+        results = {}
+        for n in (2, 4):
+            cfg = NocConfig(rows=n, cols=n)
+            net = NocNetwork(cfg)
+            uniform_random(net, load=1.0, max_burst_bytes=10_000,
+                           seed=3).install()
+            net.set_warmup(2000)
+            net.run(8000)
+            results[n] = net.aggregate_throughput_gib_s()
+        assert results[4] > 1.5 * results[2]
+
+
+class TestCliInfo:
+    def test_info_prints_models(self, capsys):
+        from repro.cli import main
+        assert main(["info", "AXI_32_64_4", "--rows", "4", "--cols", "4",
+                     "--mot", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1000.0 kGE" in out
+        assert "mW" in out and "Gbit/s" in out
+
+    def test_info_rejects_bad_label(self):
+        from repro.cli import main
+        with pytest.raises(ValueError):
+            main(["info", "NOT_A_LABEL"])

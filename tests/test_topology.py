@@ -1,0 +1,144 @@
+"""Tests for mesh/torus/ring topologies and dimension-ordered routing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.topology import (
+    OPPOSITE,
+    PORT_E,
+    PORT_N,
+    PORT_S,
+    PORT_W,
+    Mesh2D,
+    Torus2D,
+    ring,
+)
+
+
+class TestMesh2D:
+    def test_node_coords_roundtrip(self):
+        mesh = Mesh2D(4, 4)
+        for node in range(16):
+            x, y = mesh.coords(node)
+            assert mesh.node(x, y) == node
+
+    def test_fig1_numbering(self):
+        """XP0 top-left, XP4 directly below (Fig. 1 right)."""
+        mesh = Mesh2D(4, 4)
+        assert mesh.node(0, 0) == 0
+        assert mesh.node(0, 1) == 4
+        assert mesh.node(3, 3) == 15
+
+    def test_neighbors_and_edges(self):
+        mesh = Mesh2D(2, 2)
+        assert mesh.neighbor(0, PORT_E) == 1
+        assert mesh.neighbor(0, PORT_S) == 2
+        assert mesh.neighbor(0, PORT_N) is None
+        assert mesh.neighbor(0, PORT_W) is None
+
+    def test_directed_links_count(self):
+        # 4x4 mesh: 24 undirected mesh edges → 48 directed links.
+        assert len(list(Mesh2D(4, 4).directed_links())) == 48
+        assert len(list(Mesh2D(2, 2).directed_links())) == 8
+
+    def test_links_are_symmetric_pairs(self):
+        links = set()
+        for src, out_port, dst, in_port in Mesh2D(3, 3).directed_links():
+            assert OPPOSITE[out_port] == in_port
+            links.add((src, dst))
+        assert all((b, a) in links for a, b in links)
+
+    def test_hop_distance(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.hop_distance(0, 15) == 6
+        assert mesh.hop_distance(5, 5) == 0
+        assert mesh.hop_distance(0, 1) == 1
+
+    def test_yx_routes_y_first(self):
+        mesh = Mesh2D(4, 4)
+        # From (0,0) to (2,2): move south first (Y), then east (X).
+        assert mesh.route_next(mesh.node(0, 0), mesh.node(2, 2)) == PORT_S
+        assert mesh.route_next(mesh.node(0, 2), mesh.node(2, 2)) == PORT_E
+
+    def test_route_to_self_raises(self):
+        with pytest.raises(ValueError):
+            Mesh2D(2, 2).route_next(1, 1)
+
+    def test_bisection_links(self):
+        assert Mesh2D(2, 2).bisection_links() == 2
+        assert Mesh2D(4, 4).bisection_links() == 4
+        assert Mesh2D(2, 4).bisection_links() == 2
+        assert Mesh2D(1, 1).bisection_links() == 0
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0, 4)
+        with pytest.raises(ValueError):
+            Mesh2D(2, 2).coords(4)
+        with pytest.raises(ValueError):
+            Mesh2D(2, 2).node(2, 0)
+
+
+class TestTorusAndRing:
+    def test_torus_wraps(self):
+        torus = Torus2D(4, 4)
+        assert torus.neighbor(0, PORT_N) == torus.node(0, 3)
+        assert torus.neighbor(3, PORT_E) == torus.node(0, 0)
+
+    def test_torus_distance_uses_wrap(self):
+        torus = Torus2D(4, 4)
+        assert torus.hop_distance(0, 15) == 2  # wrap both dimensions
+
+    def test_torus_routes_shortest_direction(self):
+        torus = Torus2D(1, 8)
+        # node 0 to node 6 is 2 hops west (wrap) vs 6 east.
+        assert torus.route_next(0, 6) == PORT_W
+
+    def test_torus_bisection_doubles(self):
+        assert Torus2D(4, 4).bisection_links() == 8
+
+    def test_ring_is_1xn_torus(self):
+        r = ring(6)
+        assert r.rows == 1 and r.cols == 6
+        assert r.neighbor(5, PORT_E) == 0
+        assert r.neighbor(0, PORT_N) is None
+
+    def test_small_ring_rejected(self):
+        with pytest.raises(ValueError):
+            ring(2)
+
+
+@given(st.integers(2, 6), st.integers(2, 6), st.data())
+def test_yx_routing_reaches_destination(rows, cols, data):
+    """Following route_next always reaches dst in hop_distance steps,
+    never turning from X back to Y (dimension order)."""
+    mesh = Mesh2D(rows, cols)
+    src = data.draw(st.integers(0, mesh.n_nodes - 1))
+    dst = data.draw(st.integers(0, mesh.n_nodes - 1))
+    cur = src
+    hops = 0
+    seen_x_phase = False
+    while cur != dst:
+        port = mesh.route_next(cur, dst)
+        if port in (PORT_E, PORT_W):
+            seen_x_phase = True
+        else:
+            assert not seen_x_phase, "turned back from X to Y"
+        cur = mesh.neighbor(cur, port)
+        assert cur is not None, "routed off the mesh edge"
+        hops += 1
+        assert hops <= mesh.hop_distance(src, dst)
+    assert hops == mesh.hop_distance(src, dst)
+
+
+@given(st.integers(3, 6), st.data())
+def test_torus_routing_reaches_destination(n, data):
+    torus = Torus2D(n, n)
+    src = data.draw(st.integers(0, torus.n_nodes - 1))
+    dst = data.draw(st.integers(0, torus.n_nodes - 1))
+    cur = src
+    for _ in range(2 * n):
+        if cur == dst:
+            break
+        cur = torus.neighbor(cur, torus.route_next(cur, dst))
+    assert cur == dst

@@ -1,0 +1,190 @@
+"""Tests for the AXI crossbar building block (standalone, no mesh)."""
+
+import pytest
+
+from repro.axi.beats import AddrBeat, WBeat
+from repro.axi.link import AxiLink
+from repro.axi.types import Resp
+from repro.axi.xbar import (
+    ERROR_PORT,
+    AxiCrossbar,
+    ConnectivityError,
+    make_demux,
+    make_mux,
+)
+from repro.sim.kernel import Simulator
+
+
+def build_1x1(route=lambda beat, i: 0):
+    """Minimal crossbar with one ingress and one egress, pre-wired."""
+    xbar = AxiCrossbar("dut", 1, 1, route, id_width=4)
+    up = AxiLink("up")
+    down = AxiLink("down")
+    xbar.connect_in(0, up)
+    xbar.connect_out(0, down)
+    sim = Simulator()
+    sim.add(xbar)
+    return xbar, up, down, sim
+
+
+class TestBasicForwarding:
+    def test_aw_and_w_forwarded(self):
+        xbar, up, down, sim = build_1x1()
+        up.aw.push(AddrBeat(3, 0x100, 2, 8, dest=0, src=0), sim.now)
+        up.w.push(WBeat(False, 4), sim.now)
+        sim.run(3)
+        up.w.push(WBeat(True, 4), sim.now)
+        sim.run(4)
+        aw = down.aw.pop(sim.now)
+        assert aw.addr == 0x100 and aw.beats == 2
+        assert down.w.pop(sim.now).last is False
+        assert down.w.pop(sim.now).last is True
+
+    def test_ar_forwarded_and_id_remapped_consistently(self):
+        xbar, up, down, sim = build_1x1()
+        up.ar.push(AddrBeat(9, 0x40, 1, 4, dest=0, src=0), sim.now)
+        sim.run(3)
+        ar = down.ar.pop(sim.now)
+        # Response with the remapped id returns with the original id.
+        from repro.axi.beats import RBeat
+        down.r.push(RBeat(ar.id, True, 4), sim.now)
+        sim.run(3)
+        r = up.r.pop(sim.now)
+        assert r.id == 9
+        assert xbar.idle()
+
+    def test_b_response_restores_id(self):
+        xbar, up, down, sim = build_1x1()
+        up.aw.push(AddrBeat(5, 0, 1, 4, dest=0, src=0), sim.now)
+        up.w.push(WBeat(True, 4), sim.now)
+        sim.run(4)
+        from repro.axi.beats import BBeat
+        down.aw.pop(sim.now)
+        down.w.pop(sim.now)
+        down.b.push(BBeat(xbar._wr_remap[0]._by_key[(0, 5)]), sim.now)
+        sim.run(3)
+        assert up.b.pop(sim.now).id == 5
+
+
+class TestErrorTermination:
+    def test_unmapped_write_gets_decerr(self):
+        xbar, up, down, sim = build_1x1(route=lambda beat, i: None)
+        up.aw.push(AddrBeat(2, 0, 1, 4, dest=-1, src=0), sim.now)
+        up.w.push(WBeat(True, 4), sim.now)
+        sim.run(6)
+        b = up.b.pop(sim.now)
+        assert b.id == 2 and b.resp == Resp.DECERR
+        assert xbar.counters["decerr_b"] == 1
+        assert xbar.idle()
+
+    def test_unmapped_read_gets_decerr_burst(self):
+        xbar, up, down, sim = build_1x1(route=lambda beat, i: ERROR_PORT)
+        up.ar.push(AddrBeat(1, 0, 3, 12, dest=-1, src=0), sim.now)
+        beats = []
+        for _ in range(12):
+            sim.run(1)
+            if up.r.peek(sim.now) is not None:
+                beats.append(up.r.pop(sim.now))
+        assert len(beats) == 3
+        assert all(b.resp == Resp.DECERR for b in beats)
+        assert beats[-1].last and not beats[0].last
+
+
+class TestOrderingRules:
+    def test_same_id_different_egress_stalls(self):
+        """The axi_demux rule: same ID to a new egress waits for drain."""
+        routes = {0x0: 0, 0x1000_0000: 1}
+        xbar = AxiCrossbar("dut", 1, 2,
+                           lambda beat, i: routes[beat.addr],
+                           id_width=4)
+        up = AxiLink("up")
+        d0, d1 = AxiLink("d0"), AxiLink("d1")
+        xbar.connect_in(0, up)
+        xbar.connect_out(0, d0)
+        xbar.connect_out(1, d1)
+        sim = Simulator()
+        sim.add(xbar)
+        up.ar.push(AddrBeat(7, 0x0, 1, 4, dest=0, src=0), sim.now)
+        sim.run(2)
+        up.ar.push(AddrBeat(7, 0x1000_0000, 1, 4, dest=1, src=0), sim.now)
+        sim.run(4)
+        assert d0.ar.peek(sim.now) is not None
+        assert d1.ar.peek(sim.now) is None  # stalled on same-ID rule
+        assert xbar.counters["ar_same_id_stall"] > 0
+        # Complete the first read; the second may then proceed.
+        from repro.axi.beats import RBeat
+        rid = d0.ar.pop(sim.now).id
+        d0.r.push(RBeat(rid, True, 4), sim.now)
+        sim.run(5)
+        assert d1.ar.peek(sim.now) is not None
+
+    def test_w_beats_follow_aw_grant_order(self):
+        """Two masters writing to one slave: W data must arrive in AW
+        grant order, never interleaved within a burst."""
+        xbar = make_mux("mux", 2, id_width=4)
+        u0, u1 = AxiLink("u0"), AxiLink("u1")
+        down = AxiLink("down")
+        xbar.connect_in(0, u0)
+        xbar.connect_in(1, u1)
+        xbar.connect_out(0, down)
+        sim = Simulator()
+        sim.add(xbar)
+        u0.aw.push(AddrBeat(0, 0, 2, 8, dest=0, src=0), sim.now)
+        u1.aw.push(AddrBeat(0, 64, 2, 8, dest=0, src=1), sim.now)
+        u0.w.push(WBeat(False, 4), sim.now)
+        u0.w.push(WBeat(True, 4), sim.now)
+        u1.w.push(WBeat(False, 4), sim.now)
+        u1.w.push(WBeat(True, 4), sim.now)
+        # Consume downstream continuously; bursts must stay contiguous.
+        stream = []
+        aws = 0
+        for _ in range(20):
+            sim.run(1)
+            if down.w.peek(sim.now) is not None:
+                stream.append(down.w.pop(sim.now).last)
+            if down.aw.peek(sim.now) is not None:
+                down.aw.pop(sim.now)
+                aws += 1
+        assert stream == [False, True, False, True]
+        assert aws == 2
+
+
+class TestConnectivity:
+    def test_disallowed_turn_raises(self):
+        xbar = AxiCrossbar("dut", 2, 2, lambda beat, i: 1, id_width=2,
+                           connectivity=[(0, 0), (1, 1)])
+        u0 = AxiLink("u0")
+        d0, d1 = AxiLink("d0"), AxiLink("d1")
+        xbar.connect_in(0, u0)
+        xbar.connect_out(0, d0)
+        xbar.connect_out(1, d1)
+        sim = Simulator()
+        sim.add(xbar)
+        u0.ar.push(AddrBeat(0, 0, 1, 4, dest=0, src=0), sim.now)
+        with pytest.raises(ConnectivityError):
+            sim.run(3)
+
+    def test_route_to_unwired_port_raises(self):
+        xbar, up, down, sim = build_1x1(route=lambda beat, i: 5)
+        up.ar.push(AddrBeat(0, 0, 1, 4, dest=0, src=0), sim.now)
+        with pytest.raises(ConnectivityError):
+            sim.run(3)
+
+    def test_double_connect_rejected(self):
+        xbar, up, down, sim = build_1x1()
+        with pytest.raises(ValueError):
+            xbar.connect_in(0, AxiLink("again"))
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            AxiCrossbar("dut", 0, 1, lambda b, i: 0, id_width=2)
+
+
+class TestFactories:
+    def test_make_demux_routes(self):
+        demux = make_demux("demux", 3, lambda beat, i: beat.dest, id_width=2)
+        assert demux.n_in == 1 and demux.n_out == 3
+
+    def test_make_mux_shape(self):
+        mux = make_mux("mux", 4, id_width=2)
+        assert mux.n_in == 4 and mux.n_out == 1

@@ -1,0 +1,89 @@
+"""Tests for crosspoint construction and XBAR connectivity sets."""
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.topology import (
+    LOCAL_PORT_BASE,
+    PORT_E,
+    PORT_N,
+    PORT_S,
+    PORT_W,
+    Mesh2D,
+)
+from repro.noc.xp import build_crosspoint, full_connectivity, partial_connectivity
+
+
+class TestPartialConnectivity:
+    def setup_method(self):
+        self.local = LOCAL_PORT_BASE
+        self.ports = [PORT_N, PORT_E, PORT_S, PORT_W, self.local]
+        self.pairs = partial_connectivity(self.ports)
+
+    def test_no_mesh_u_turns(self):
+        for p in (PORT_N, PORT_E, PORT_S, PORT_W):
+            assert (p, p) not in self.pairs
+
+    def test_y_continues_and_turns(self):
+        assert (PORT_N, PORT_S) in self.pairs
+        assert (PORT_S, PORT_N) in self.pairs
+        assert (PORT_N, PORT_E) in self.pairs
+        assert (PORT_N, PORT_W) in self.pairs
+        assert (PORT_S, PORT_E) in self.pairs
+
+    def test_x_never_turns_back_to_y(self):
+        """The YX invariant: E/W ingress may not exit N/S."""
+        for x_in in (PORT_E, PORT_W):
+            for y_out in (PORT_N, PORT_S):
+                assert (x_in, y_out) not in self.pairs
+
+    def test_x_continues_straight(self):
+        assert (PORT_E, PORT_W) in self.pairs
+        assert (PORT_W, PORT_E) in self.pairs
+        assert (PORT_E, PORT_E) not in self.pairs
+
+    def test_everything_can_exit_local(self):
+        for p in self.ports:
+            assert (p, self.local) in self.pairs
+
+    def test_local_can_go_anywhere_including_itself(self):
+        for p in self.ports:
+            assert (self.local, p) in self.pairs
+
+    def test_partial_is_a_strict_subset_of_full(self):
+        full = full_connectivity(self.ports)
+        assert self.pairs < full
+
+    def test_two_locals(self):
+        ports = [PORT_N, LOCAL_PORT_BASE, LOCAL_PORT_BASE + 1]
+        pairs = partial_connectivity(ports)
+        assert (LOCAL_PORT_BASE, LOCAL_PORT_BASE + 1) in pairs
+        assert (PORT_N, LOCAL_PORT_BASE + 1) in pairs
+
+
+class TestBuildCrosspoint:
+    def test_corner_xp_is_3_port(self):
+        """Fig. 1: corner XPs are 3-master/3-slave (2 mesh + local)."""
+        topo = Mesh2D(2, 2)
+        cfg = NocConfig(rows=2, cols=2)
+        xp = build_crosspoint("xp0", 0, topo, cfg, n_local_ports=1,
+                              route=lambda b, i: None)
+        present = [p for p in (PORT_N, PORT_E, PORT_S, PORT_W)
+                   if topo.neighbor(0, p) is not None]
+        assert len(present) == 2
+        assert xp.n_in == 5  # 4 mesh slots + 1 local (edges unwired)
+
+    def test_full_connectivity_option(self):
+        topo = Mesh2D(2, 2)
+        cfg = NocConfig(rows=2, cols=2, full_connectivity=True)
+        xp = build_crosspoint("xp0", 0, topo, cfg, n_local_ports=1,
+                              route=lambda b, i: None)
+        # Full connectivity permits everything, including U-turns.
+        assert (PORT_E, PORT_E) in xp._allowed
+
+    def test_mot_cap_propagated(self):
+        topo = Mesh2D(2, 2)
+        cfg = NocConfig(rows=2, cols=2, max_outstanding=3)
+        xp = build_crosspoint("xp0", 0, topo, cfg, n_local_ports=1,
+                              route=lambda b, i: None)
+        assert xp.max_outstanding == 3
