@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Record / compare the simulator speed baseline (BENCH_simspeed.json).
+
+Usage (from the repository root)::
+
+    python benchmarks/record.py record
+    python benchmarks/record.py compare [--fail-above RATIO]
+
+``record`` runs ``benchmarks/test_simspeed.py`` under pytest-benchmark
+and saves the JSON report to ``BENCH_simspeed.json`` at the repository
+root.  ``compare`` re-runs the benches into a temporary file and prints
+the per-bench mean ratio against the recorded baseline (>1 = slower);
+with ``--fail-above R`` it exits non-zero if any bench regressed by more
+than the factor ``R``.  See README "Simulator performance".
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BASELINE = ROOT / "BENCH_simspeed.json"
+
+
+def _run_bench(json_path: Path, rounds: int | None = None) -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    if rounds is not None:
+        env["SIMSPEED_ROUNDS"] = str(rounds)
+    cmd = [
+        sys.executable, "-m", "pytest",
+        str(ROOT / "benchmarks" / "test_simspeed.py"),
+        "-q", f"--benchmark-json={json_path}",
+    ]
+    return subprocess.call(cmd, cwd=ROOT, env=env)
+
+
+def _means(json_path: Path) -> dict[str, float]:
+    data = json.loads(json_path.read_text())
+    return {b["name"]: b["stats"]["mean"] for b in data["benchmarks"]}
+
+
+def cmd_record(_args: argparse.Namespace) -> int:
+    status = _run_bench(BASELINE)
+    if status == 0:
+        print(f"recorded baseline -> {BASELINE}")
+        for name, mean in sorted(_means(BASELINE).items()):
+            print(f"  {name}: {mean * 1e3:.3f} ms")
+    return status
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    if not BASELINE.exists():
+        print(f"no baseline at {BASELINE}; run 'record' first",
+              file=sys.stderr)
+        return 2
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        current_path = Path(tmp.name)
+    try:
+        status = _run_bench(current_path)
+        if status != 0:
+            return status
+        baseline = _means(BASELINE)
+        current = _means(current_path)
+        worst = 0.0
+        print(f"{'benchmark':<40} {'recorded':>12} {'current':>12} {'ratio':>7}")
+        for name in sorted(baseline):
+            if name not in current:
+                print(f"{name:<40} {'(missing in current run)':>33}")
+                continue
+            ratio = current[name] / baseline[name]
+            worst = max(worst, ratio)
+            print(f"{name:<40} {baseline[name] * 1e3:>10.3f}ms "
+                  f"{current[name] * 1e3:>10.3f}ms {ratio:>6.2f}x")
+        if args.fail_above is not None and worst > args.fail_above:
+            print(f"regression: worst ratio {worst:.2f}x exceeds "
+                  f"--fail-above {args.fail_above}", file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        current_path.unlink(missing_ok=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("record", help="run benches, save BENCH_simspeed.json")
+    compare = sub.add_parser("compare", help="run benches, diff vs baseline")
+    compare.add_argument("--fail-above", type=float, default=None,
+                         metavar="RATIO",
+                         help="exit non-zero if any bench is slower than "
+                              "RATIO x the recorded mean")
+    args = parser.parse_args(argv)
+    return cmd_record(args) if args.command == "record" else cmd_compare(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

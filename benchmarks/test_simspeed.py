@@ -2,7 +2,11 @@
 
 These are the only benches where statistical rounds make sense; they
 guard against performance regressions in the hot XP/endpoint paths.
+Record/compare a baseline with ``benchmarks/record.py`` (see README);
+CI runs a single-round smoke via ``SIMSPEED_ROUNDS=1``.
 """
+
+import os
 
 from repro.baseline.network import PacketMesh, PacketMeshConfig
 from repro.noc.config import NocConfig
@@ -10,6 +14,7 @@ from repro.noc.network import NocNetwork
 from repro.traffic.uniform import uniform_random
 
 CYCLES = 2_000
+ROUNDS = max(1, int(os.environ.get("SIMSPEED_ROUNDS", "3")))
 
 
 def test_patronoc_cycles_per_second(benchmark):
@@ -23,7 +28,7 @@ def test_patronoc_cycles_per_second(benchmark):
     def run(net):
         net.run(CYCLES)
 
-    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    benchmark.pedantic(run, setup=setup, rounds=ROUNDS, iterations=1)
     benchmark.extra_info["cycles_per_round"] = CYCLES
 
 
@@ -37,7 +42,7 @@ def test_baseline_cycles_per_second(benchmark):
     def run(mesh):
         mesh.run(CYCLES)
 
-    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    benchmark.pedantic(run, setup=setup, rounds=ROUNDS, iterations=1)
     benchmark.extra_info["cycles_per_round"] = CYCLES
 
 
@@ -49,4 +54,4 @@ def test_idle_network_overhead(benchmark):
     def run(net):
         net.run(CYCLES)
 
-    benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    benchmark.pedantic(run, setup=setup, rounds=ROUNDS, iterations=1)

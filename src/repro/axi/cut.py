@@ -20,6 +20,13 @@ class AxiCut(Component):
         self.name = name
         self.upstream = upstream
         self.downstream = downstream
+        upstream.watch_requests(self)
+        downstream.watch_responses(self)
+
+    def quiet(self) -> bool:
+        """Nothing to forward in either direction."""
+        up, down = self.upstream, self.downstream
+        return not (up.aw._q or up.w._q or up.ar._q or down.b._q or down.r._q)
 
     def step(self, now: int) -> None:
         up, down = self.upstream, self.downstream

@@ -21,11 +21,19 @@ class ErrorSlave(Component):
     def __init__(self, name: str, link: AxiLink):
         self.name = name
         self.link = link
+        link.watch_requests(self)
         self._pending_b: deque[int] = deque()  # ids awaiting W-last
         self._open_writes: deque[int] = deque()  # ids whose W data is due
         self._pending_r: deque[list] = deque()  # [id, beats_left]
         self.writes_rejected = 0
         self.reads_rejected = 0
+
+    def quiet(self) -> bool:
+        """No response owed and no request waiting on the link."""
+        link = self.link
+        return (not self._pending_b and not self._open_writes
+                and not self._pending_r
+                and not link.aw._q and not link.w._q and not link.ar._q)
 
     def step(self, now: int) -> None:
         link = self.link

@@ -24,7 +24,8 @@ from __future__ import annotations
 class IdRemapper:
     """Tracks in-flight remapped IDs for one XP egress and one direction."""
 
-    __slots__ = ("n_ids", "_free", "_by_key", "_table", "max_in_flight")
+    __slots__ = ("n_ids", "_free", "_by_key", "_table", "_n_used",
+                 "max_in_flight")
 
     def __init__(self, id_width: int):
         if id_width < 1:
@@ -32,12 +33,16 @@ class IdRemapper:
         self.n_ids = 1 << id_width
         self._free = list(range(self.n_ids - 1, -1, -1))  # pop() yields 0 first
         self._by_key: dict[tuple[int, int], int] = {}
-        self._table: dict[int, list] = {}  # rid -> [src_port, orig_id, refcount]
+        # rid -> [src_port, orig_id, refcount] | None.  A dense list, not
+        # a dict: the per-beat response lookup indexes it on the hottest
+        # path of a loaded mesh.
+        self._table: list[list | None] = [None] * self.n_ids
+        self._n_used = 0
         self.max_in_flight = 0  # high-water mark, for area/ablation reporting
 
     def in_flight(self) -> int:
         """Number of remapped IDs currently allocated."""
-        return len(self._table)
+        return self._n_used
 
     def can_acquire(self, src_port: int, orig_id: int) -> bool:
         """True if :meth:`acquire` would succeed for this key."""
@@ -59,27 +64,36 @@ class IdRemapper:
         rid = self._free.pop()
         self._by_key[key] = rid
         self._table[rid] = [src_port, orig_id, 1]
-        self.max_in_flight = max(self.max_in_flight, len(self._table))
+        self._n_used += 1
+        if self._n_used > self.max_in_flight:
+            self.max_in_flight = self._n_used
         return rid
 
     def lookup(self, rid: int) -> tuple[int, int]:
         """(src_port, orig_id) for an in-flight remapped ID.
 
         Raises KeyError for unknown IDs — a response the network never
-        requested is a modelling bug worth failing loudly on.
+        requested is a modelling bug worth failing loudly on.  (The
+        crossbar hot path indexes ``_table`` directly and skips this
+        check; it fails on the subsequent subscript instead.)
         """
         entry = self._table[rid]
+        if entry is None:
+            raise KeyError(rid)
         return entry[0], entry[1]
 
     def release(self, rid: int) -> tuple[int, int]:
         """Retire one transaction on ``rid``; free the ID at refcount 0."""
         entry = self._table[rid]
+        if entry is None:
+            raise KeyError(rid)
         entry[2] -= 1
         if entry[2] < 0:
             raise AssertionError(f"double release of remapped id {rid}")
         src_port, orig_id = entry[0], entry[1]
         if entry[2] == 0:
-            del self._table[rid]
+            self._table[rid] = None
+            self._n_used -= 1
             del self._by_key[(src_port, orig_id)]
             self._free.append(rid)
         return src_port, orig_id

@@ -38,6 +38,17 @@ class AxiLink:
     def channels(self) -> tuple[TimedFifo, ...]:
         return (self.aw, self.w, self.ar, self.b, self.r)
 
+    def watch_requests(self, component) -> None:
+        """Register the slave-side component woken by AW/W/AR pushes."""
+        self.aw.consumer = component
+        self.w.consumer = component
+        self.ar.consumer = component
+
+    def watch_responses(self, component) -> None:
+        """Register the master-side component woken by B/R pushes."""
+        self.b.consumer = component
+        self.r.consumer = component
+
     def idle(self) -> bool:
         """True when no beat occupies any channel of this link."""
         return all(len(ch) == 0 for ch in self.channels())

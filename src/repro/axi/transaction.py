@@ -23,12 +23,16 @@ from typing import Callable, Iterator
 from repro.axi.types import BOUNDARY_4K, MAX_BURST_BEATS
 
 
-@dataclass
+@dataclass(slots=True)
 class Transfer:
     """One DMA command: move ``nbytes`` at ``addr`` to/from endpoint ``src``.
 
     ``on_complete`` (if set) fires when the last constituent burst
     completes — the hook used by dependent DNN traffic to chain work.
+
+    Transfers are allocated per DMA command on the hot path, so the
+    class is slotted; the trailing underscore fields are the DMA
+    engine's completion-tracking scratch state.
     """
 
     src: int
@@ -38,6 +42,9 @@ class Transfer:
     dest: int = -1  # destination endpoint; resolved from the memory map
     created: int = 0  # cycle the traffic source generated the transfer
     on_complete: Callable[[int], None] | None = field(default=None, repr=False)
+    _bursts_left: int = field(default=0, init=False, repr=False)
+    _split_done: bool = field(default=False, init=False, repr=False)
+    _start_cycle: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.nbytes <= 0:
@@ -46,7 +53,7 @@ class Transfer:
             raise ValueError(f"negative address {self.addr:#x}")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Burst:
     """One AXI-compliant burst produced by the splitter."""
 

@@ -43,6 +43,7 @@ from repro.sim.stats import CounterSet
 #: Egress sentinel for "no route: terminate with DECERR".
 ERROR_PORT = -1
 
+
 RouteFn = Callable[[AddrBeat, int], int | None]
 
 
@@ -117,6 +118,9 @@ class AxiCrossbar(Component):
         self._wr_inflight = [0] * n_out
         self._rd_inflight = [0] * n_out
         self._w_order: list[deque] = [deque() for _ in range(n_out)]  # [in, beats_left]
+        #: Egresses whose _w_order is non-empty (unordered; W-mux
+        #: conflicts are impossible across egresses, see _move_w).
+        self._w_busy: list[int] = []
         self._aw_ptr = [0] * n_out
         self._ar_ptr = [0] * n_out
 
@@ -127,11 +131,26 @@ class AxiCrossbar(Component):
         self._err_b: list[deque] = [deque() for _ in range(n_in)]  # oid
         self._err_r: list[deque] = [deque() for _ in range(n_in)]  # [oid, beats_left]
 
-        self._resp_rot = 0
         # Hot-path caches, rebuilt lazily after wiring changes.
         self._in_ports: list[int] | None = None
         self._out_ports: list[int] | None = None
         self._err_pending = 0
+        # Incrementally maintained busy counter: with the _w_busy list it
+        # makes the per-step dead-path guards and idle() O(1).
+        self._err_w = 0      # error-bound write bursts awaiting W data sink
+        # Shared occupancy cells, one per channel class this XP consumes
+        # (DESIGN.md §2): each counts how many of the attached FIFOs are
+        # non-empty, so step() skips whole phases and idle() is O(1).
+        self._occ_aw = [0]
+        self._occ_w = [0]
+        self._occ_ar = [0]
+        self._occ_b = [0]
+        self._occ_r = [0]
+        # Scan-start hints: when exactly one response source is occupied
+        # (the common case) the rotation is irrelevant to arbitration,
+        # so the scan starts at the last known occupied port.
+        self._b_hot = 0
+        self._r_hot = 0
 
     # ------------------------------------------------------------------
     # wiring
@@ -141,6 +160,10 @@ class AxiCrossbar(Component):
         if self.in_links[port] is not None:
             raise ValueError(f"{self.name}: in port {port} already connected")
         self.in_links[port] = link
+        link.watch_requests(self)
+        link.aw.track_occupancy(self._occ_aw)
+        link.w.track_occupancy(self._occ_w)
+        link.ar.track_occupancy(self._occ_ar)
         self._in_ports = None
         return link
 
@@ -149,12 +172,39 @@ class AxiCrossbar(Component):
         if self.out_links[port] is not None:
             raise ValueError(f"{self.name}: out port {port} already connected")
         self.out_links[port] = link
+        link.watch_responses(self)
+        link.b.track_occupancy(self._occ_b)
+        link.r.track_occupancy(self._occ_r)
         self._out_ports = None
         return link
 
     def _refresh_port_lists(self) -> None:
         self._in_ports = [i for i, l in enumerate(self.in_links) if l is not None]
         self._out_ports = [j for j, l in enumerate(self.out_links) if l is not None]
+        # Prebuilt hot-scan tuples.  A FIFO's deque, capacity, and
+        # latency are stable for its lifetime, so carrying them directly
+        # saves attribute loads in the per-beat loops:
+        #   scans: (egress, src fifo, src deque, remapper, remap table)
+        #   dsts:  (dst fifo, dst deque, capacity, latency) | None
+        self._b_scan = [(j, self.out_links[j].b, self.out_links[j].b._q,
+                         self._wr_remap[j], self._wr_remap[j]._table)
+                        for j in self._out_ports]
+        self._r_scan = [(j, self.out_links[j].r, self.out_links[j].r._q,
+                         self._rd_remap[j], self._rd_remap[j]._table)
+                        for j in self._out_ports]
+
+        def _dst(fifo):
+            return ((fifo, fifo._q, fifo.capacity, fifo.latency)
+                    if fifo is not None else None)
+
+        self._b_dst = [_dst(l.b if l is not None else None)
+                       for l in self.in_links]
+        self._r_dst = [_dst(l.r if l is not None else None)
+                       for l in self.in_links]
+        # W-channel endpoints by port index.
+        self._w_src = [l.w if l is not None else None for l in self.in_links]
+        self._w_dst = [_dst(l.w if l is not None else None)
+                       for l in self.out_links]
 
     def idle(self) -> bool:
         """True when no transaction state is held inside this crossbar."""
@@ -164,6 +214,20 @@ class AxiCrossbar(Component):
                 and all(r.in_flight() == 0 for r in self._wr_remap)
                 and all(r.in_flight() == 0 for r in self._rd_remap))
 
+    def quiet(self) -> bool:
+        """Activity contract: stepping can do no work — no beat on any
+        watched channel and no queued error response.
+
+        This is *not* "no transaction in flight" (that is :meth:`idle`):
+        a transaction whose beats are currently parked in downstream
+        links or at an endpoint keeps state in the remap tables, but the
+        XP has nothing to do for it until a response beat lands on a
+        watched FIFO — which wakes it.
+        """
+        return not (self._occ_aw[0] or self._occ_w[0] or self._occ_ar[0]
+                    or self._occ_b[0] or self._occ_r[0]
+                    or self._err_pending)
+
     # ------------------------------------------------------------------
     # per-cycle behaviour
     # ------------------------------------------------------------------
@@ -172,81 +236,215 @@ class AxiCrossbar(Component):
     # mesh makes ~1.5 M channel probes per 4 k cycles and the function
     # call overhead dominated the profile.  The semantics are identical
     # to peek/pop and the FIFO unit tests pin them down.
-    def step(self, now: int) -> None:
+    # step() is deliberately one flat function: every sub-phase is gated
+    # by an occupancy cell (a channel class with no beat anywhere costs
+    # nothing) and the two per-beat streaming loops are fully inlined —
+    # pop/push/lookup/with_id included, with counter and occupancy-cell
+    # updates — because a loaded mesh spends most of its wall clock right
+    # here and the call layers dominated the profile.  Semantics are
+    # identical to the TimedFifo/peek/pop compositions they replace (the
+    # FIFO unit tests pin them down).  Response mux rotation derives
+    # from ``now`` (not a step counter) so arbitration is a pure
+    # function of cycle number — identical whether or not the activity
+    # kernel skipped quiet cycles.  Used-ingress tracking is a bitmask
+    # (one grant per ingress per channel per cycle).
+    def step(self, now: int) -> bool:
         if self._in_ports is None or self._out_ports is None:
             self._refresh_port_lists()
-        b_used: set[int] = set()
-        r_used: set[int] = set()
-        self._forward_b(now, b_used)
-        self._forward_r(now, r_used)
+        # -- forward B responses (egress -> ingress, round-robin) -------
+        b_used = 0
+        remaining = self._occ_b[0]  # non-empty B sources left to visit
+        if remaining:
+            scan = self._b_scan
+            n = len(scan)
+            if remaining == 1:
+                idx = self._b_hot
+                if idx >= n:
+                    idx = 0
+            else:
+                idx = now % n
+            for _ in range(n):
+                pos = idx
+                j, src, q, remap, table = scan[idx]
+                idx += 1
+                if idx == n:
+                    idx = 0
+                if not q:
+                    continue
+                remaining -= 1
+                self._b_hot = pos
+                head = q[0]
+                if head[0] <= now:
+                    beat = head[1]
+                    entry = table[beat.id]
+                    i = entry[0]
+                    if not (b_used >> i) & 1:
+                        dst, dq, cap, lat = self._b_dst[i]
+                        if len(dq) < cap:
+                            oid = entry[1]
+                            q.popleft()
+                            src.popped += 1
+                            if not q:
+                                occ = src.occ
+                                if occ is not None:
+                                    occ[0] -= 1
+                            remap.release(beat.id)
+                            self._wr_inflight[j] -= 1
+                            _retire_dest(self._wr_dest[i], oid, j)
+                            if not dq:
+                                occ = dst.occ
+                                if occ is not None:
+                                    occ[0] += 1
+                            # Beats are immutable: reuse when the ID maps
+                            # to itself instead of allocating a copy.
+                            dq.append((now + lat,
+                                       beat if oid == beat.id
+                                       else BBeat(oid, beat.resp)))
+                            dst.pushed += 1
+                            consumer = dst.consumer
+                            if (consumer is not None
+                                    and not consumer._in_active_set):
+                                consumer.wake(now + lat)
+                            b_used |= 1 << i
+                if not remaining:
+                    break
+        # -- forward R responses (egress -> ingress, round-robin) -------
+        r_used = 0
+        remaining = self._occ_r[0]  # non-empty R sources left to visit
+        if remaining:
+            scan = self._r_scan
+            n = len(scan)
+            if remaining == 1:
+                idx = self._r_hot
+                if idx >= n:
+                    idx = 0
+            else:
+                idx = now % n
+            for _ in range(n):
+                pos = idx
+                j, src, q, remap, table = scan[idx]
+                idx += 1
+                if idx == n:
+                    idx = 0
+                if not q:
+                    continue
+                remaining -= 1
+                self._r_hot = pos
+                head = q[0]
+                if head[0] <= now:
+                    beat = head[1]
+                    entry = table[beat.id]
+                    i = entry[0]
+                    if not (r_used >> i) & 1:
+                        dst, dq, cap, lat = self._r_dst[i]
+                        if len(dq) < cap:
+                            oid = entry[1]
+                            q.popleft()
+                            src.popped += 1
+                            if not q:
+                                occ = src.occ
+                                if occ is not None:
+                                    occ[0] -= 1
+                            if beat.last:
+                                remap.release(beat.id)
+                                self._rd_inflight[j] -= 1
+                                _retire_dest(self._rd_dest[i], oid, j)
+                            if not dq:
+                                occ = dst.occ
+                                if occ is not None:
+                                    occ[0] += 1
+                            # Beats are immutable: reuse when the ID maps
+                            # to itself instead of allocating a copy.
+                            dq.append((now + lat,
+                                       beat if oid == beat.id
+                                       else RBeat(oid, beat.last, beat.nbytes,
+                                                  beat.resp)))
+                            dst.pushed += 1
+                            consumer = dst.consumer
+                            if (consumer is not None
+                                    and not consumer._in_active_set):
+                                consumer.wake(now + lat)
+                            r_used |= 1 << i
+                if not remaining:
+                    break
         if self._err_pending:
             self._error_responses(now, b_used, r_used)
-        self._move_w(now)
-        self._arbitrate_aw(now)
-        self._arbitrate_ar(now)
-        self._resp_rot += 1
+        # -- move W data (granted bursts only, see _w_busy invariant) ---
+        if self._occ_w[0] and (self._w_busy or self._err_w):
+            w_used = 0
+            w_src = self._w_src
+            w_busy = self._w_busy
+            # Visit order over busy egresses is immaterial: an ingress's
+            # W-route head names a single egress, so two egresses can
+            # never contend for one ingress in a cycle — w_used only
+            # feeds the error sink.
+            for bidx in range(len(w_busy) - 1, -1, -1):
+                j = w_busy[bidx]
+                order = self._w_order[j]
+                entry = order[0]
+                i = entry[0]
+                route_q = self._w_route[i]
+                if not route_q or route_q[0][0] != j:
+                    continue  # this ingress owes an older burst elsewhere
+                src = w_src[i]
+                q = src._q
+                if q:
+                    head = q[0]
+                    if head[0] <= now:
+                        beat = head[1]
+                        dst, dq, cap, lat = self._w_dst[j]
+                        if len(dq) < cap:
+                            q.popleft()
+                            src.popped += 1
+                            if not q:
+                                occ = src.occ
+                                if occ is not None:
+                                    occ[0] -= 1
+                            if not dq:
+                                occ = dst.occ
+                                if occ is not None:
+                                    occ[0] += 1
+                            dq.append((now + lat, beat))
+                            dst.pushed += 1
+                            consumer = dst.consumer
+                            if (consumer is not None
+                                    and not consumer._in_active_set):
+                                consumer.wake(now + lat)
+                            w_used |= 1 << i
+                            entry[1] -= 1
+                            if beat.last:
+                                if entry[1] != 0:
+                                    raise AssertionError(
+                                        f"{self.name}: W burst length "
+                                        f"mismatch at egress {j} "
+                                        f"({entry[1]} beats unaccounted)")
+                                order.popleft()
+                                route_q.popleft()
+                                if not order:
+                                    del w_busy[bidx]
+            if self._err_w:
+                self._sink_error_w(now, w_used)
+        if self._occ_aw[0]:
+            self._arbitrate_aw(now)
+        if self._occ_ar[0]:
+            self._arbitrate_ar(now)
+        # Report post-step quietness inline (see Component.step).
+        return not (self._occ_aw[0] or self._occ_w[0] or self._occ_ar[0]
+                    or self._occ_b[0] or self._occ_r[0]
+                    or self._err_pending)
 
-    # -- responses ------------------------------------------------------
-    def _forward_b(self, now: int, b_used: set[int]) -> None:
-        out_ports = self._out_ports
-        n = len(out_ports)
-        start = self._resp_rot % n
-        for k in range(n):
-            j = out_ports[(start + k) % n]
-            src = self.out_links[j].b
-            q = src._q
-            if not q or q[0][0] > now:
-                continue
-            beat = q[0][1]
-            i, oid = self._wr_remap[j].lookup(beat.id)
-            if i in b_used:
-                continue
-            dst = self.in_links[i].b
-            if len(dst._q) >= dst.capacity:
-                continue
-            src.pop(now)
-            self._wr_remap[j].release(beat.id)
-            self._wr_inflight[j] -= 1
-            _retire_dest(self._wr_dest[i], oid, j)
-            dst.push(beat.with_id(oid), now)
-            b_used.add(i)
-
-    def _forward_r(self, now: int, r_used: set[int]) -> None:
-        out_ports = self._out_ports
-        n = len(out_ports)
-        start = self._resp_rot % n
-        for k in range(n):
-            j = out_ports[(start + k) % n]
-            src = self.out_links[j].r
-            q = src._q
-            if not q or q[0][0] > now:
-                continue
-            beat = q[0][1]
-            i, oid = self._rd_remap[j].lookup(beat.id)
-            if i in r_used:
-                continue
-            dst = self.in_links[i].r
-            if len(dst._q) >= dst.capacity:
-                continue
-            src.pop(now)
-            if beat.last:
-                self._rd_remap[j].release(beat.id)
-                self._rd_inflight[j] -= 1
-                _retire_dest(self._rd_dest[i], oid, j)
-            dst.push(beat.with_id(oid), now)
-            r_used.add(i)
-
-    def _error_responses(self, now: int, b_used: set[int],
-                         r_used: set[int]) -> None:
+    def _error_responses(self, now: int, b_used: int, r_used: int) -> None:
         for i in self._in_ports:
             in_link = self.in_links[i]
-            if i not in b_used and self._err_b[i] and in_link.b.can_push():
+            if (not (b_used >> i) & 1 and self._err_b[i]
+                    and in_link.b.can_push()):
                 oid = self._err_b[i].popleft()
                 self._err_pending -= 1
                 _retire_dest(self._wr_dest[i], oid, ERROR_PORT)
                 in_link.b.push(BBeat(oid, Resp.DECERR), now)
                 self.counters.bump("decerr_b")
-            if i not in r_used and self._err_r[i] and in_link.r.can_push():
+            if (not (r_used >> i) & 1 and self._err_r[i]
+                    and in_link.r.can_push()):
                 entry = self._err_r[i][0]
                 entry[1] -= 1
                 last = entry[1] == 0
@@ -257,45 +455,12 @@ class AxiCrossbar(Component):
                     _retire_dest(self._rd_dest[i], entry[0], ERROR_PORT)
                     self.counters.bump("decerr_r")
 
-    # -- write data -----------------------------------------------------
-    def _move_w(self, now: int) -> None:
-        w_used: set[int] = set()
-        for j in self._out_ports:
-            order = self._w_order[j]
-            if not order:
-                continue
-            entry = order[0]
-            i = entry[0]
-            if i in w_used:
-                continue
-            route_q = self._w_route[i]
-            if not route_q or route_q[0][0] != j:
-                continue  # this ingress owes an older burst elsewhere
-            src = self.in_links[i].w
-            q = src._q
-            if not q or q[0][0] > now:
-                continue
-            beat = q[0][1]
-            dst = self.out_links[j].w
-            if len(dst._q) >= dst.capacity:
-                continue
-            src.pop(now)
-            dst.push(beat, now)
-            w_used.add(i)
-            entry[1] -= 1
-            if beat.last:
-                if entry[1] != 0:
-                    raise AssertionError(
-                        f"{self.name}: W burst length mismatch at egress {j} "
-                        f"({entry[1]} beats unaccounted)")
-                order.popleft()
-                route_q.popleft()
-        # Error-bound W bursts are sunk at the ingress (no egress involved).
-        if not self._err_pending and not any(
-                rq and rq[0][0] == ERROR_PORT for rq in self._w_route):
-            return
+    # -- write data (error path) ----------------------------------------
+    def _sink_error_w(self, now: int, w_used: int) -> None:
+        """Sink W bursts of error-terminated AWs at the ingress (no
+        egress involved); the B DECERR is owed once W-last arrives."""
         for i in self._in_ports:
-            if i in w_used:
+            if (w_used >> i) & 1:
                 continue
             route_q = self._w_route[i]
             if not route_q or route_q[0][0] != ERROR_PORT:
@@ -307,6 +472,7 @@ class AxiCrossbar(Component):
             in_link.w.pop(now)
             if beat.last:
                 entry = route_q.popleft()
+                self._err_w -= 1
                 self._err_b[i].append(entry[1])
                 self._err_pending += 1
 
@@ -351,6 +517,7 @@ class AxiCrossbar(Component):
                 in_link.aw.pop(now)
                 _bump_dest(self._wr_dest[i], beat.id, ERROR_PORT)
                 self._w_route[i].append([ERROR_PORT, beat.id])
+                self._err_w += 1
                 self.counters.bump("aw_unmapped")
                 continue
             dest = self._wr_dest[i].get(beat.id)
@@ -381,7 +548,10 @@ class AxiCrossbar(Component):
             self._wr_inflight[j] += 1
             _bump_dest(self._wr_dest[i], beat.id, j)
             self._w_route[i].append([j, None])
-            self._w_order[j].append([i, beat.beats])
+            order = self._w_order[j]
+            if not order:
+                self._w_busy.append(j)
+            order.append([i, beat.beats])
             self._aw_ptr[j] = i + 1 if i + 1 < self.n_in else 0
 
     def _arbitrate_ar(self, now: int) -> None:

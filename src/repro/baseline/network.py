@@ -13,6 +13,7 @@ Noxim measurement conventions:
 
 from __future__ import annotations
 
+import math
 from collections import deque
 
 import numpy as np
@@ -55,12 +56,12 @@ class PacketMesh(Component):
     """A runnable baseline mesh with built-in uniform random injection."""
 
     def __init__(self, cfg: PacketMeshConfig, injection_rate: float = 0.0,
-                 seed: int | None = None):
+                 seed: int | None = None, always_step: bool = False):
         if injection_rate < 0:
             raise ValueError("injection rate must be >= 0")
         self.cfg = cfg
         self.topology = Mesh2D(cfg.rows, cfg.cols)
-        self.sim = Simulator(cfg.freq_hz)
+        self.sim = Simulator(cfg.freq_hz, activity=not always_step)
         self.routers = [Router(n, cfg.n_vcs, cfg.buf_depth)
                         for n in range(cfg.n_nodes)]
         for src, out_port, dst, in_port in self.topology.directed_links():
@@ -87,6 +88,9 @@ class PacketMesh(Component):
         self.bytes_received = 0
         self.bytes_received_measured = 0
         self.latency = LatencyStats("baseline")
+        #: Flits currently buffered inside routers (activity contract).
+        self._flits_in_network = 0
+        self._last_stepped = -1
         self.sim.add(self)
         self._source_cap = 64  # packets queued per node before pausing
 
@@ -101,7 +105,16 @@ class PacketMesh(Component):
             return P_S if dy > cy else P_N
         return P_LOCAL
 
+    def inject(self, node: int, vc: int, flit: Flit, now: int) -> None:
+        """Deliver a flit into ``node``'s local input port (NIC-driven
+        mode).  Keeps the in-network flit count exact and wakes the mesh
+        if the activity kernel had put it to sleep."""
+        self.routers[node].accept(P_LOCAL, vc, flit, now)
+        self._flits_in_network += 1
+        self.wake(now + 1)  # flit is visible to allocation next cycle
+
     def _eject(self, flit: Flit, now: int) -> None:
+        self._flits_in_network -= 1
         self.flits_received += 1
         if now >= self.warmup:
             self.flits_received_measured += 1
@@ -130,9 +143,38 @@ class PacketMesh(Component):
         self.warmup = cycle
 
     # ------------------------------------------------------------------
+    def quiet(self) -> bool:
+        """Quiet iff no flit is buffered anywhere and no packet is queued
+        at a source (pending Poisson arrivals sleep via next_event)."""
+        if self._flits_in_network:
+            return False
+        for q in self._inject_q:
+            if q:
+                return False
+        for q in self._source_q:
+            if q:
+                return False
+        return True
+
+    def next_event(self, now: int) -> int | None:
+        if self.injection_rate <= 0:
+            return None
+        first = min(self._next_arrival)
+        if first == float("inf"):
+            return None
+        wake = int(math.ceil(first))
+        return wake if wake > now else now + 1
+
     def step(self, now: int) -> None:
         cfg = self.cfg
         n_nodes = cfg.n_nodes
+        # Account skipped quiet cycles in the routers' allocation state so
+        # post-gap arbitration matches always-step mode exactly.
+        gap = now - self._last_stepped - 1
+        if gap > 0:
+            for router in self.routers:
+                router.advance_idle(gap)
+        self._last_stepped = now
         # 1. Generate new packets (Poisson per node, uniform destinations).
         if self.injection_rate > 0:
             for node in range(n_nodes):
@@ -158,6 +200,7 @@ class PacketMesh(Component):
                 # VC 0 is the injection VC (Noxim default for sources).
                 if router.buffer_space(P_LOCAL, 0) > 0:
                     router.accept(P_LOCAL, 0, inject.popleft(), now)
+                    self._flits_in_network += 1
         # 3. Step every router.
         route = self._route
         eject = self._eject

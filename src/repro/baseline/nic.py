@@ -60,12 +60,16 @@ class PacketNic(Component):
     def submit(self, transfer: Transfer, dst_node: int) -> None:
         """Queue a transfer for packetisation towards ``dst_node``."""
         self._pending.append((dst_node, transfer.nbytes))
+        self.wake()  # external input: revive a NIC asleep in the kernel
 
     @property
     def queue_depth(self) -> int:
         return len(self._pending)
 
     def idle(self) -> bool:
+        return not self._pending and not self._flits
+
+    def quiet(self) -> bool:
         return not self._pending and not self._flits
 
     def step(self, now: int) -> None:
@@ -87,8 +91,9 @@ class PacketNic(Component):
             else:
                 self._pending.popleft()
             self._idle_until = now + self.translation_overhead
-        # Serialise one flit per cycle into the router.
+        # Serialise one flit per cycle into the router (via the mesh so
+        # its in-network accounting stays exact and it wakes if asleep).
         if self._flits:
             router = self.mesh.routers[self.node]
             if router.buffer_space(P_LOCAL, 0) > 0:
-                router.accept(P_LOCAL, 0, self._flits.popleft(), now)
+                self.mesh.inject(self.node, 0, self._flits.popleft(), now)

@@ -147,6 +147,20 @@ class Router:
             else:
                 self._sa_ptr[out_port] = (start + 1) % total
 
+    def advance_idle(self, cycles: int) -> None:
+        """Advance allocation state across ``cycles`` idle (skipped) cycles.
+
+        On a cycle with no flits anywhere, :meth:`step` grants nothing and
+        each output port's switch-allocation pointer rotates by one.  The
+        activity kernel skips such cycles entirely; this applies the same
+        rotation in bulk so arbitration after a quiet gap is identical to
+        having stepped through it.
+        """
+        total = N_PORTS * self.n_vcs
+        ptrs = self._sa_ptr
+        for port in range(N_PORTS):
+            ptrs[port] = (ptrs[port] + cycles) % total
+
     def _find_free_vc(self, out_port: int) -> int | None:
         """A downstream VC not owned by any packet and with buffer space."""
         neighbor = self.neighbors[out_port]

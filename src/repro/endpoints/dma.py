@@ -82,6 +82,11 @@ class DmaEngine(Component):
         self.name = name
         self.tile = tile
         self.link = link
+        link.watch_responses(self)  # B/R pushes wake an idle engine
+        #: Non-empty response channels (skips the sink block in O(1)).
+        self._occ_resp = [0]
+        link.b.track_occupancy(self._occ_resp)
+        link.r.track_occupancy(self._occ_resp)
         self.beat_bytes = beat_bytes
         self.max_outstanding = max_outstanding
         self.issue_overhead = issue_overhead
@@ -103,6 +108,7 @@ class DmaEngine(Component):
         self._burst_iter: Iterator[Burst] | None = None
         self._next_burst: Burst | None = None
         self._idle_until = 0
+        self._last_now = -1
         self._seq = 0
         self.transfers_completed = 0
         self.bytes_read = 0
@@ -114,6 +120,7 @@ class DmaEngine(Component):
         transfer._bursts_left = 0
         transfer._split_done = False
         self._pending.append(transfer)
+        self.wake()  # external input: revive an engine asleep in the kernel
 
     @property
     def queue_depth(self) -> int:
@@ -136,18 +143,87 @@ class DmaEngine(Component):
         return (not self._pending and self._cur is None
                 and not self._w_emit and not self._wr_out and not self._rd_out)
 
+    def quiet(self) -> bool:
+        """Activity contract: nothing to sink, stream, or issue.
+
+        An engine that is only waiting — for responses (B/R pushes wake
+        it) or for the descriptor-overhead gap to elapse (``next_event``
+        wakes it) — sleeps.  An engine with an issuable burst must poll:
+        its stall can clear when a downstream FIFO pop frees space,
+        which produces no wake.
+        """
+        if self._occ_resp[0] or self._w_emit:
+            return False
+        if self._pending or self._cur is not None:
+            # Work is queued: only the descriptor gap may sleep through.
+            return self._idle_until > self._last_now + 1
+        return True
+
+    def next_event(self, now: int) -> int | None:
+        if self._pending or self._cur is not None:
+            return self._idle_until
+        return None
+
     # ------------------------------------------------------------------
-    def step(self, now: int) -> None:
+    # The inline ``_q`` probes mirror the crossbar hot path (identical
+    # semantics to peek/pop; pinned by the FIFO unit tests).
+    def step(self, now: int) -> bool:
+        self._last_now = now
         link = self.link
         # Sink responses first (mandatory progress for deadlock freedom).
-        beat = link.b.peek(now)
-        if beat is not None:
-            link.b.pop(now)
-            self._complete(self._wr_out, self._wr_free, beat.id, beat.resp, now)
-        beat = link.r.peek(now)
-        if beat is not None:
-            link.r.pop(now)
-            self.read_meter.add(beat.nbytes, now)
+        if self._occ_resp[0]:
+            self._sink(now, link)
+        # Stream W data in AW order, one beat per cycle (inlined push:
+        # the write-stream hot loop, identical to TimedFifo.push).
+        w_emit = self._w_emit
+        if w_emit:
+            w = link.w
+            wq = w._q
+            if len(wq) < w.capacity:
+                emitter = w_emit[0]
+                if not wq:
+                    occ = w.occ
+                    if occ is not None:
+                        occ[0] += 1
+                wq.append((now + w.latency, emitter.next_beat()))
+                w.pushed += 1
+                consumer = w.consumer
+                if consumer is not None and not consumer._in_active_set:
+                    consumer.wake(now + w.latency)
+                if emitter.issued >= emitter.beats:
+                    w_emit.popleft()
+        # Issue at most one burst per cycle (skip the call when there is
+        # neither a transfer being split nor one queued).
+        if (now >= self._idle_until
+                and (self._cur is not None or self._pending)):
+            self._issue(now)
+        # Report post-step quietness inline (mirrors quiet()).
+        if self._occ_resp[0] or self._w_emit:
+            return False
+        if self._pending or self._cur is not None:
+            return self._idle_until > now + 1
+        return True
+
+    def _sink(self, now: int, link: AxiLink) -> None:
+        """Consume at most one B and one R beat (inlined pop hot path)."""
+        q = link.b._q
+        if q and q[0][0] <= now:
+            beat = link.b.pop(now)
+            self._complete(self._wr_out, self._wr_free, beat.id, beat.resp,
+                           now)
+        rf = link.r
+        q = rf._q
+        if q and q[0][0] <= now:
+            beat = q.popleft()[1]
+            rf.popped += 1
+            if not q:
+                occ = rf.occ
+                if occ is not None:
+                    occ[0] -= 1
+            meter = self.read_meter  # inlined ThroughputMeter.add
+            meter.bytes_total += beat.nbytes
+            if now >= meter.warmup_cycles:
+                meter.bytes_measured += beat.nbytes
             self.bytes_read += beat.nbytes
             entry = self._rd_out.get(beat.id)
             if entry is None:
@@ -160,15 +236,6 @@ class DmaEngine(Component):
             if beat.last:
                 self._complete(self._rd_out, self._rd_free, beat.id,
                                beat.resp, now)
-        # Stream W data in AW order, one beat per cycle.
-        if self._w_emit and link.w.can_push():
-            emitter = self._w_emit[0]
-            link.w.push(emitter.next_beat(), now)
-            if emitter.done():
-                self._w_emit.popleft()
-        # Issue at most one burst per cycle.
-        if now >= self._idle_until:
-            self._issue(now)
 
     # ------------------------------------------------------------------
     def _issue(self, now: int) -> None:

@@ -69,6 +69,12 @@ class MemorySlave(Component):
         self.name = name
         self.endpoint = endpoint
         self.link = link
+        link.watch_requests(self)  # AW/W/AR pushes wake an idle memory
+        #: Non-empty request channels (skips the accept block in O(1)).
+        self._occ_req = [0]
+        link.aw.track_occupancy(self._occ_req)
+        link.w.track_occupancy(self._occ_req)
+        link.ar.track_occupancy(self._occ_req)
         self.beat_bytes = beat_bytes
         self.latency = latency
         self.max_outstanding = max_outstanding
@@ -78,6 +84,7 @@ class MemorySlave(Component):
         self.bursts_written = 0
         self.bursts_read = 0
 
+        self._last_now = -1
         # [id, beats_left, bytes_left, total_bytes, total_beats]
         self._w_expect: deque[list] = deque()
         self._b_queue: deque[tuple[int, int]] = deque()  # (ready_at, id)
@@ -86,25 +93,82 @@ class MemorySlave(Component):
     def idle(self) -> bool:
         return not self._w_expect and not self._b_queue and not self._r_jobs
 
+    def quiet(self) -> bool:
+        """Activity contract: no request waiting on the link, no W burst
+        mid-reception, and every queued response due strictly after the
+        next cycle (``next_event`` wakes us for those; a response blocked
+        on a full channel keeps its due time in the past and polls)."""
+        if self._occ_req[0] or self._w_expect:
+            return False
+        horizon = self._last_now + 1
+        b_queue = self._b_queue
+        if b_queue and b_queue[0][0] <= horizon:
+            return False
+        r_jobs = self._r_jobs
+        if r_jobs and r_jobs[0][0] <= horizon:
+            return False
+        return True
+
+    def next_event(self, now: int) -> int | None:
+        wake = self._b_queue[0][0] if self._b_queue else None
+        if self._r_jobs:
+            due = self._r_jobs[0][0]
+            if wake is None or due < wake:
+                wake = due
+        return wake
+
     # ------------------------------------------------------------------
-    def step(self, now: int) -> None:
+    # The inline ``_q`` probes below mirror the crossbar hot path: this
+    # step runs every busy cycle of every memory and the peek/pop call
+    # pairs dominated its profile (semantics are identical; the FIFO
+    # unit tests pin them down).
+    def step(self, now: int) -> bool:
+        self._last_now = now
         link = self.link
+        if self._occ_req[0] or self._w_expect:
+            self._accept(now, link)
+        b_queue = self._b_queue
+        r_jobs = self._r_jobs
+        if b_queue or r_jobs:
+            self._emit(now, link)
+        # Report post-step quietness inline (mirrors quiet()).
+        if self._occ_req[0] or self._w_expect:
+            return False
+        horizon = now + 1
+        if b_queue and b_queue[0][0] <= horizon:
+            return False
+        if r_jobs and r_jobs[0][0] <= horizon:
+            return False
+        return True
+
+    def _accept(self, now: int, link: AxiLink) -> None:
         # Accept one AW per cycle, bounded by open write transactions.
-        if len(self._w_expect) + len(self._b_queue) < self.max_outstanding:
-            aw = link.aw.peek(now)
-            if aw is not None:
-                link.aw.pop(now)
-                self._w_expect.append(
-                    [aw.id, aw.beats, aw.nbytes, aw.nbytes, aw.beats])
-        # Accept one W beat per cycle, only for an already-accepted AW.
+        q = link.aw._q
+        if (q and q[0][0] <= now
+                and len(self._w_expect) + len(self._b_queue)
+                < self.max_outstanding):
+            aw = link.aw.pop(now)
+            self._w_expect.append(
+                [aw.id, aw.beats, aw.nbytes, aw.nbytes, aw.beats])
+        # Accept one W beat per cycle, only for an already-accepted AW
+        # (inlined pop: the write-stream hot loop).
         if self._w_expect:
-            w = link.w.peek(now)
-            if w is not None:
-                link.w.pop(now)
+            wf = link.w
+            q = wf._q
+            if q and q[0][0] <= now:
+                w = q.popleft()[1]
+                wf.popped += 1
+                if not q:
+                    occ = wf.occ
+                    if occ is not None:
+                        occ[0] -= 1
                 head = self._w_expect[0]
                 head[1] -= 1
                 head[2] -= w.nbytes
-                self.write_meter.add(w.nbytes, now)
+                meter = self.write_meter  # inlined ThroughputMeter.add
+                meter.bytes_total += w.nbytes
+                if now >= meter.warmup_cycles:
+                    meter.bytes_measured += w.nbytes
                 self.bytes_written += w.nbytes
                 if w.last:
                     if head[1] != 0 or head[2] != 0:
@@ -122,25 +186,44 @@ class MemorySlave(Component):
                         f"{self.name}: more W beats than AW announced "
                         f"on id {head[0]}")
         # Accept one AR per cycle, bounded by open read jobs.
-        if len(self._r_jobs) < self.max_outstanding:
-            ar = link.ar.peek(now)
-            if ar is not None:
-                link.ar.pop(now)
-                self._r_jobs.append((
-                    now + self.latency,
-                    _REmitter(ar.id, ar.addr, ar.beats, ar.nbytes,
-                              self.beat_bytes)))
+        q = link.ar._q
+        if (q and q[0][0] <= now
+                and len(self._r_jobs) < self.max_outstanding):
+            ar = link.ar.pop(now)
+            self._r_jobs.append((
+                now + self.latency,
+                _REmitter(ar.id, ar.addr, ar.beats, ar.nbytes,
+                          self.beat_bytes)))
+
+    def _emit(self, now: int, link: AxiLink) -> None:
         # Emit one B per cycle.
-        if self._b_queue and self._b_queue[0][0] <= now and link.b.can_push():
-            _, bid = self._b_queue.popleft()
-            link.b.push(BBeat(bid), now)
+        b_queue = self._b_queue
+        if b_queue and b_queue[0][0] <= now:
+            b = link.b
+            if len(b._q) < b.capacity:
+                _, bid = b_queue.popleft()
+                b.push(BBeat(bid), now)
         # Emit one R beat per cycle (jobs served strictly in order).
-        if self._r_jobs and self._r_jobs[0][0] <= now and link.r.can_push():
-            _, emitter = self._r_jobs[0]
-            link.r.push(emitter.next_beat(), now)
-            if emitter.done():
-                self._r_jobs.popleft()
-                self.bursts_read += 1
-                if self.scoreboard is not None:
-                    self.scoreboard.record_read(
-                        self.endpoint, emitter.rid, now)
+        # R streaming is the memory's hot loop, so the push is inlined
+        # like the crossbar's (identical semantics to TimedFifo.push).
+        r_jobs = self._r_jobs
+        if r_jobs and r_jobs[0][0] <= now:
+            r = link.r
+            rq = r._q
+            if len(rq) < r.capacity:
+                emitter = r_jobs[0][1]
+                if not rq:
+                    occ = r.occ
+                    if occ is not None:
+                        occ[0] += 1
+                rq.append((now + r.latency, emitter.next_beat()))
+                r.pushed += 1
+                consumer = r.consumer
+                if consumer is not None and not consumer._in_active_set:
+                    consumer.wake(now + r.latency)
+                if emitter.issued >= emitter.beats:
+                    r_jobs.popleft()
+                    self.bursts_read += 1
+                    if self.scoreboard is not None:
+                        self.scoreboard.record_read(
+                            self.endpoint, emitter.rid, now)

@@ -94,11 +94,15 @@ class NocNetwork:
         L2s).  Must address only memory-bearing tiles and requires
         ``routing="computed"`` (per-hop address tables cannot express
         overlapping interleaved windows).
+    always_step:
+        Force the reference always-step kernel instead of the
+        activity-driven one (DESIGN.md §2).  Results are identical; the
+        golden-equivalence tests rely on this switch.
     """
 
     def __init__(self, cfg: NocConfig, tiles: list[TileSpec] | None = None,
                  topology: Mesh2D | None = None, routing: str = "computed",
-                 scoreboard=None, memory_map=None):
+                 scoreboard=None, memory_map=None, always_step: bool = False):
         if routing not in ("computed", "table"):
             raise ValueError(f"routing must be 'computed' or 'table', got {routing!r}")
         if memory_map is not None and routing != "computed":
@@ -114,7 +118,7 @@ class NocNetwork:
         for spec in specs:
             if not 0 <= spec.node < self.topology.n_nodes:
                 raise ValueError(f"tile node {spec.node} outside topology")
-        self.sim = Simulator(cfg.freq_hz)
+        self.sim = Simulator(cfg.freq_hz, activity=not always_step)
         self.counters = CounterSet()
         self.warmup = 0
         self.links: list[AxiLink] = []
@@ -313,14 +317,24 @@ class NocNetwork:
     def drain(self, max_cycles: int = 1_000_000, check_every: int = 32) -> int:
         """Run until everything in flight has completed.
 
+        Terminates on the exact cycle everything settles — no checkpoint
+        rounding: the kernel's :meth:`~repro.sim.kernel.Simulator.
+        all_quiet` (active set and wake heap empty, open-loop sources
+        exempt) guarantees nothing will act again, and ``idle()``
+        confirms no beat is stranded.  Finite pending work counts: an
+        unfinished core script or a sleeping memory-response queue keeps
+        the drain running; a live open-loop traffic source does not (it
+        is ``drain_transparent``), matching the seed's behaviour of
+        draining between injections.  (``check_every`` is retained for
+        backward API compatibility and ignored.)
+
         Raises RuntimeError if the network fails to drain within
         ``max_cycles`` — which would indicate a deadlock and must never
         happen (YX routing is deadlock-free; tests rely on this).
         """
-        start = self.sim.now
-        self.sim.run(max_cycles,
-                     until=lambda now: (now - start) % check_every == 0
-                     and self.idle())
+        del check_every  # superseded by exact event-driven termination
+        sim = self.sim
+        sim.run(max_cycles, until_idle=lambda: sim.all_quiet() and self.idle())
         if not self.idle():
             raise RuntimeError(
                 f"network failed to drain within {max_cycles} cycles "

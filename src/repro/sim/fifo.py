@@ -11,6 +11,11 @@ The two-phase discipline means component step order within a cycle cannot
 create zero-latency combinational paths: an item pushed at cycle ``t`` can
 be popped at ``t + latency`` at the earliest, regardless of who steps
 first.
+
+FIFOs are also the *wake-up spine* of the activity-driven kernel
+(DESIGN.md §2): a FIFO with a registered ``consumer`` wakes that
+component at the cycle a pushed item becomes visible, so idle consumers
+can safely leave the simulator's active set.
 """
 
 from __future__ import annotations
@@ -35,7 +40,8 @@ class TimedFifo:
         Optional label used in ``repr`` and error messages.
     """
 
-    __slots__ = ("capacity", "latency", "name", "_q", "pushed", "popped")
+    __slots__ = ("capacity", "latency", "name", "_q", "pushed", "popped",
+                 "consumer", "occ")
 
     def __init__(self, capacity: int = 2, latency: int = 1, name: str = ""):
         if capacity < 1:
@@ -48,6 +54,20 @@ class TimedFifo:
         self._q: deque[tuple[int, Any]] = deque()
         self.pushed = 0  # lifetime counters, used by monitors/tests
         self.popped = 0
+        #: The component woken when a pushed item becomes visible
+        #: (claimed by whoever consumes from this FIFO; may be None).
+        self.consumer = None
+        #: Optional shared occupancy cell (a one-element list counting
+        #: how many FIFOs of a group are non-empty); lets a consumer of
+        #: many FIFOs skip whole scan phases in O(1).  Maintained on
+        #: empty <-> non-empty transitions only.
+        self.occ: list[int] | None = None
+
+    def track_occupancy(self, cell: list[int]) -> None:
+        """Attach a shared occupancy cell (counts this FIFO if non-empty)."""
+        self.occ = cell
+        if self._q:
+            cell[0] += 1
 
     def __len__(self) -> int:
         return len(self._q)
@@ -71,10 +91,18 @@ class TimedFifo:
             first; pushing into a full FIFO is a modelling bug, not a
             runtime condition.
         """
-        if len(self._q) >= self.capacity:
+        q = self._q
+        if len(q) >= self.capacity:
             raise OverflowError(f"push into full FIFO {self.name!r}")
-        self._q.append((now + self.latency, item))
+        if not q:
+            occ = self.occ
+            if occ is not None:
+                occ[0] += 1
+        q.append((now + self.latency, item))
         self.pushed += 1
+        consumer = self.consumer
+        if consumer is not None and not consumer._in_active_set:
+            consumer.wake(now + self.latency)
 
     def peek(self, now: int) -> Any | None:
         """Return the head item if it is visible at cycle ``now``, else None."""
@@ -102,9 +130,15 @@ class TimedFifo:
             )
         self._q.popleft()
         self.popped += 1
+        if not self._q:
+            occ = self.occ
+            if occ is not None:
+                occ[0] -= 1
         return item
 
     def drain(self) -> Iterator[Any]:
         """Yield and remove all items regardless of visibility (teardown)."""
+        if self._q and self.occ is not None:
+            self.occ[0] -= 1
         while self._q:
             yield self._q.popleft()[1]

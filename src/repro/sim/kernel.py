@@ -1,32 +1,110 @@
-"""Cycle-driven simulation kernel.
+"""Activity-driven simulation kernel with quiet-cycle fast-forward.
 
-The kernel is deliberately minimal: a :class:`Simulator` owns a list of
-:class:`Component` objects and calls ``step(now)`` on each once per cycle
-in registration order.  All inter-component communication happens through
+The kernel owns a list of :class:`Component` objects and advances them
+cycle by cycle.  Two execution modes share identical cycle-accurate
+semantics (DESIGN.md §2):
+
+* **always-step** (``activity=False``) — every registered component is
+  stepped once per cycle in registration order.  This is the reference
+  semantics; the golden-equivalence tests pin the activity mode to it.
+* **activity-driven** (``activity=True``, the default) — only components
+  in the *active set* are stepped.  A component leaves the active set
+  when it reports :meth:`Component.quiet` after a step; it re-enters
+  when something wakes it: a :class:`~repro.sim.fifo.TimedFifo` push
+  towards it, an external :meth:`Component.wake` (e.g. a DMA
+  ``submit``), or a self-scheduled :meth:`Component.next_event`.  When
+  the active set is empty the kernel jumps ``now`` straight to the
+  earliest scheduled wake, making idle stretches O(1) instead of
+  O(components × cycles).
+
+All inter-component communication happens through
 :class:`~repro.sim.fifo.TimedFifo` register stages, which make the step
-order immaterial for correctness (see that module's docstring).
+order within a cycle immaterial for correctness (DESIGN.md §1) and give
+the kernel its wake-up spine.
 
-This kernel favours throughput over generality — a 4×4 PATRONoC mesh with
-17 endpoints steps a few dozen components per cycle, and experiments run
-tens of thousands of cycles per data point.
+The contract every activity-aware component must honour:
+
+1. ``quiet()`` returns True only if stepping the component would be a
+   no-op now *and on every future cycle* unless new input arrives
+   through a watched FIFO, an explicit ``wake``, or the cycle named by
+   ``next_event`` is reached.  (``quiet`` is about *steppability* — a
+   component may be quiet while transactions it initiated are still in
+   flight elsewhere; domain-level idleness keeps its usual ``idle()``
+   spelling on the components that have one.)
+2. ``next_event(now)`` returns the earliest future cycle at which a
+   quiet component must be stepped again for time-driven internal state
+   (e.g. a Poisson arrival clock or a memory's access-latency queue);
+   ``None`` means "only a wake revives me".
+3. A spurious step must be harmless: stepping a quiet component may not
+   change simulation state.  (This lets the kernel admit wakes early
+   without affecting results.)
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Callable, Iterable
 
 
 class Component:
-    """Base class for anything stepped by the simulator once per cycle."""
+    """Base class for anything stepped by the simulator.
+
+    Subclasses override :meth:`step`; activity-aware subclasses also
+    override :meth:`quiet` (and :meth:`next_event` when they keep
+    time-driven internal state).  The default ``quiet() -> False`` keeps
+    legacy components stepped every cycle, which is always correct.
+    """
 
     name: str = ""
+    #: Open-loop sources (e.g. Poisson traffic generators) set this True:
+    #: their pending future work never blocks :meth:`Simulator.all_quiet`,
+    #: so a drain can complete between their injections.  Finite,
+    #: scheduled work (a DNN core mid-compute, a trace replayer with
+    #: entries left) must leave it False.
+    drain_transparent: bool = False
+    #: Back-reference to the owning simulator (set by ``Simulator.add``).
+    _sim: "Simulator | None" = None
+    #: True while the component is in the simulator's active set.
+    _in_active_set: bool = False
+    #: Earliest scheduled wake cycle, or None (kernel bookkeeping).
+    _wake_cycle: int | None = None
+    #: Registration index; preserves step order among active components.
+    _order: int = -1
 
-    def step(self, now: int) -> None:
-        """Advance this component by one cycle."""
+    def step(self, now: int) -> bool | None:
+        """Advance this component by one cycle.
+
+        May return the value :meth:`quiet` would return after this step
+        (hot components do, saving the kernel a second dispatch); a
+        ``None`` return means "ask :meth:`quiet`".
+        """
         raise NotImplementedError
+
+    def quiet(self) -> bool:
+        """True when stepping can make no progress without new input."""
+        return False
+
+    def next_event(self, now: int) -> int | None:
+        """Earliest cycle > ``now`` a quiet component needs a step, or None."""
+        return None
 
     def finalize(self, now: int) -> None:
         """Hook called once after the last simulated cycle (optional)."""
+
+    def wake(self, cycle: int | None = None) -> None:
+        """Ensure this component is stepped at ``cycle`` (default: now).
+
+        Call this whenever state is injected from outside the component's
+        watched FIFOs — e.g. queueing a transfer on a DMA engine.  A
+        wake issued *during* cycle ``t`` for cycle ``t`` takes effect at
+        ``t + 1``, matching the always-step semantics of a producer
+        registered after its consumer.  No-op when the component is
+        already active or not registered with a simulator.
+        """
+        sim = self._sim
+        if sim is None or self._in_active_set:
+            return
+        sim.wake_at(self, sim.now if cycle is None else cycle)
 
 
 class Simulator:
@@ -37,18 +115,37 @@ class Simulator:
     freq_hz:
         Clock frequency used to convert cycle counts to wall-clock rates
         (the paper evaluates everything at 1 GHz).
+    activity:
+        True (default) enables the activity-driven kernel with
+        quiet-cycle fast-forward; False forces the reference always-step
+        mode (every component stepped every cycle).  Both modes produce
+        identical simulation results for contract-honouring components.
     """
 
-    def __init__(self, freq_hz: float = 1e9):
+    def __init__(self, freq_hz: float = 1e9, activity: bool = True):
         if freq_hz <= 0:
             raise ValueError(f"frequency must be positive, got {freq_hz}")
         self.freq_hz = freq_hz
+        self.activity = activity
         self.now = 0
         self._components: list[Component] = []
+        #: Components stepped this cycle, sorted by registration order.
+        self._active: list[Component] = []
+        #: Min-heap of (cycle, registration order, component) future wakes.
+        self._heap: list[tuple[int, int, Component]] = []
 
     def add(self, component: Component) -> Component:
-        """Register ``component`` and return it (for chaining)."""
+        """Register ``component`` and return it (for chaining).
+
+        Newly added components start in the active set; if they are
+        already quiet they fall out after their first step.
+        """
+        component._sim = self
+        component._order = len(self._components)
+        component._in_active_set = True
+        component._wake_cycle = None
         self._components.append(component)
+        self._active.append(component)
         return component
 
     def extend(self, components: Iterable[Component]) -> None:
@@ -59,12 +156,90 @@ class Simulator:
     def components(self) -> tuple[Component, ...]:
         return tuple(self._components)
 
+    @property
+    def active_count(self) -> int:
+        """Number of components currently in the active set."""
+        return len(self._active)
+
+    def all_quiet(self) -> bool:
+        """True when no component can ever act again without external
+        input: nothing is active and no wake is scheduled (activity
+        mode), or every component is quiet with no pending ``next_event``
+        (always-step mode — the equivalent formulation, so both modes
+        observe the same truth value at the same cycle).
+
+        This is the exact termination condition
+        :meth:`repro.noc.network.NocNetwork.drain` uses: unlike a
+        network-state scan it also accounts for *future* work — a DNN
+        core mid-``compute``, a memory response still in its latency
+        queue — that would otherwise make a momentarily empty network
+        look drained.  Components marked ``drain_transparent`` (open-loop
+        traffic sources) are exempt: their endless arrival clocks must
+        not hold a drain open forever.
+        """
+        if self.activity:
+            for component in self._active:
+                if not component.drain_transparent:
+                    return False
+            for cycle, _, component in self._heap:
+                if component.drain_transparent:
+                    continue
+                if component._in_active_set or component._wake_cycle != cycle:
+                    continue  # superseded wake entry
+                return False
+            return True
+        last = self.now - 1
+        for component in self._components:
+            if component.drain_transparent:
+                continue
+            if not component.quiet() or component.next_event(last) is not None:
+                return False
+        return True
+
+    def wake_at(self, component: Component, cycle: int) -> None:
+        """Schedule ``component`` to be active at ``cycle``.
+
+        Idempotent and monotone: scheduling a later wake than one already
+        pending is a no-op; earlier wakes supersede (the superseded heap
+        entry is dropped lazily on pop).  Wakes for already-active
+        components are no-ops.
+        """
+        if component._in_active_set:
+            return
+        pending = component._wake_cycle
+        if pending is not None and pending <= cycle:
+            return
+        component._wake_cycle = cycle
+        heappush(self._heap, (cycle, component._order, component))
+
+    def _admit(self, now: int) -> None:
+        """Move every wake due at or before ``now`` into the active set."""
+        heap = self._heap
+        active = self._active
+        while heap and heap[0][0] <= now:
+            cycle, _, component = heappop(heap)
+            if component._in_active_set or component._wake_cycle != cycle:
+                continue  # superseded by an earlier wake or already awake
+            component._wake_cycle = None
+            component._in_active_set = True
+            # Keep registration order (admissions are few per cycle).
+            order = component._order
+            lo, hi = 0, len(active)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if active[mid]._order < order:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            active.insert(lo, component)
+
     def run(
         self,
         cycles: int,
         until: Callable[[int], bool] | None = None,
         progress_every: int = 0,
         progress: Callable[[int], None] | None = None,
+        until_idle: Callable[[], bool] | None = None,
     ) -> int:
         """Run for up to ``cycles`` more cycles.
 
@@ -73,10 +248,20 @@ class Simulator:
         cycles:
             Maximum number of cycles to advance.
         until:
-            Optional predicate evaluated after each cycle; simulation
-            stops early when it returns True (e.g. "all traffic drained").
+            Optional predicate ``until(now)`` evaluated after each cycle;
+            simulation stops early when it returns True.  May depend on
+            ``now`` arbitrarily — during quiet-cycle fast-forward it is
+            still evaluated at every intermediate cycle (component state
+            is frozen across the gap, so results match always-step mode
+            exactly).
         progress_every / progress:
             Optional progress callback invoked every N cycles.
+        until_idle:
+            Optional 0-argument predicate over *simulation state only*
+            (it must not depend on ``now``), evaluated after each stepped
+            cycle and once per quiet gap.  Stops the run when True.  This
+            is what :meth:`repro.noc.network.NocNetwork.drain` uses to
+            terminate on the exact cycle the network empties.
 
         Returns
         -------
@@ -86,8 +271,88 @@ class Simulator:
         if cycles < 0:
             raise ValueError(f"cycles must be >= 0, got {cycles}")
         end = self.now + cycles
+        if not self.activity:
+            return self._run_always_step(end, until, progress_every,
+                                         progress, until_idle)
+        heap = self._heap
+        walk_gaps = until is not None or (progress_every > 0
+                                          and progress is not None)
+        while self.now < end:
+            now = self.now
+            if heap and heap[0][0] <= now:
+                self._admit(now)
+            active = self._active
+            if not active:
+                # Quiet gap: no component can make progress before the
+                # next scheduled wake.  State is frozen, so jump.
+                if until_idle is not None and until_idle():
+                    break
+                target = heap[0][0] if heap else end
+                if target > end:
+                    target = end
+                if target <= now:  # defensive; wakes are always future
+                    target = now + 1
+                if not walk_gaps:
+                    self.now = target
+                    continue
+                stopped = False
+                while now < target:
+                    now += 1
+                    if until is not None and until(now):
+                        stopped = True
+                        break
+                    if (progress_every and progress
+                            and now % progress_every == 0):
+                        progress(now)
+                self.now = now
+                if stopped:
+                    break
+                continue
+            # Step and retire in one pass.  Retiring right after a
+            # component's own step is safe: a later component pushing
+            # towards it goes through the FIFO wake path (the component
+            # is already flagged inactive, so the push schedules a wake
+            # at the beat's visibility cycle — exactly when always-step
+            # mode would first act on it).
+            dirty = False
+            for component in active:
+                retire = component.step(now)
+                if retire is None:
+                    retire = component.quiet()
+                if retire:
+                    component._in_active_set = False
+                    dirty = True
+                    wake = component.next_event(now)
+                    if wake is not None:
+                        if wake <= now:
+                            wake = now + 1
+                        self.wake_at(component, wake)
+            self.now = now = now + 1
+            if dirty:
+                self._active = [c for c in active if c._in_active_set]
+            if until is not None and until(now):
+                break
+            if until_idle is not None and until_idle():
+                break
+            if progress_every and progress and now % progress_every == 0:
+                progress(now)
+        return self.now
+
+    def _run_always_step(self, end, until, progress_every, progress,
+                         until_idle) -> int:
+        """Reference semantics: every component stepped every cycle.
+
+        ``until_idle`` is evaluated at the top of each iteration — i.e.
+        before a cycle is stepped — which covers both "settled after the
+        previous cycle" and "already settled at entry".  This mirrors
+        the activity kernel exactly: its quiet-gap check fires before
+        advancing, so a drain entered on a settled network must consume
+        zero cycles in both modes.
+        """
         components = self._components
         while self.now < end:
+            if until_idle is not None and until_idle():
+                break
             now = self.now
             for component in components:
                 component.step(now)

@@ -16,6 +16,8 @@ load-sweep methodology).
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.axi.transaction import Transfer
@@ -65,6 +67,8 @@ class RandomTraffic(Component):
         self.read_fraction = read_fraction
         self.queue_cap = queue_cap
         self.name = f"traffic(load={load})"
+        #: Open-loop source: future arrivals never block a drain.
+        self.drain_transparent = True
 
         self._masters = [m for m, cands in candidates.items() if cands]
         for master in self._masters:
@@ -77,7 +81,10 @@ class RandomTraffic(Component):
         self.rate = load * net.cfg.beat_bytes / mean_size
         self._rngs = dict(zip(self._masters,
                               spawn_rngs(seed, len(self._masters))))
-        self._next_arrival = {m: self._draw_gap(m) for m in self._masters}
+        # Hot-loop state as parallel lists (step/idle/next_event run
+        # every active cycle; dict lookups per master dominated them).
+        self._arrival = [self._draw_gap(m) for m in self._masters]
+        self._hot_dmas = [net.dmas[m] for m in self._masters]
         self.offered_transfers = 0
         self.offered_bytes = 0
 
@@ -103,18 +110,44 @@ class RandomTraffic(Component):
         return Transfer(src=master, addr=region.base + offset, nbytes=size,
                         is_read=is_read, dest=dest, created=now)
 
-    def step(self, now: int) -> None:
-        for master in self._masters:
-            dma = self.net.dmas[master]
+    def step(self, now: int) -> bool:
+        quiet = True
+        arrival = self._arrival
+        cap = self.queue_cap
+        masters = self._masters
+        for k, dma in enumerate(self._hot_dmas):
             # Pause the arrival clock while the backlog is at the cap.
-            while (self._next_arrival[master] <= now
-                   and dma.queue_depth < self.queue_cap):
-                transfer = self._make_transfer(master, now)
-                dma.submit(transfer)
-                self.offered_transfers += 1
-                self.offered_bytes += transfer.nbytes
-                self._next_arrival[master] += self._draw_gap(master)
+            if arrival[k] <= now:
+                master = masters[k]
+                while arrival[k] <= now and len(dma._pending) < cap:
+                    transfer = self._make_transfer(master, now)
+                    dma.submit(transfer)
+                    self.offered_transfers += 1
+                    self.offered_bytes += transfer.nbytes
+                    arrival[k] += self._draw_gap(master)
+            if len(dma._pending) >= cap:
+                quiet = False
+        return quiet
+
+    def quiet(self) -> bool:
+        """Quiet iff no master's arrival clock is paused at the backlog
+        cap (a paused clock must poll for DMA queue space each cycle;
+        an unpaused one only acts at its next arrival time)."""
+        cap = self.queue_cap
+        for dma in self._hot_dmas:
+            if len(dma._pending) >= cap:
+                return False
+        return True
+
+    def next_event(self, now: int) -> int | None:
+        """First integer cycle at or after the earliest pending arrival."""
+        if not self._arrival:
+            return None
+        wake = math.ceil(min(self._arrival))
+        return wake if wake > now else now + 1
 
     def quiesce(self) -> None:
         """Stop injecting (lets the network drain for latency studies)."""
         self._masters = []
+        self._hot_dmas = []
+        self._arrival = []

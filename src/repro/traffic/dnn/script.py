@@ -69,6 +69,7 @@ class CoreScript(Component):
         self.name = name or f"script{core}"
         self._pc = 0
         self._busy_until = 0
+        self._last_now = -1
         self._waiting_transfer = False
         self._transfer_done_at = -1
         self._consumed: dict[int, int] = {}  # per-op event consumption
@@ -97,7 +98,20 @@ class CoreScript(Component):
                                  on_complete=on_complete))
         self.bytes_requested += nbytes
 
+    def quiet(self) -> bool:
+        """Finished scripts sleep forever; a core mid-``compute`` sleeps
+        until the op elapses (nothing external can shorten it).  Cores
+        blocked on transfers or events keep polling: their unblocking is
+        signalled by completion callbacks inside other components' steps,
+        which the wake heap cannot observe same-cycle."""
+        return self.done or (not self._waiting_transfer
+                             and self._busy_until > self._last_now + 1)
+
+    def next_event(self, now: int) -> int | None:
+        return None if self.done else self._busy_until
+
     def step(self, now: int) -> None:
+        self._last_now = now
         if self.done or self._waiting_transfer or now < self._busy_until:
             return
         while True:

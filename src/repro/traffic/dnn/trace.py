@@ -106,6 +106,28 @@ class TraceReplayer(Component):
     def done(self) -> bool:
         return all(self._index[c] >= len(q) for c, q in self._queues.items())
 
+    def quiet(self) -> bool:
+        """Quiet iff every core is exhausted or waiting on a strictly
+        future recorded release time with DMA queue space available
+        (``asap`` cores and backpressured cores must poll)."""
+        for core, queue in self._queues.items():
+            idx = self._index[core]
+            if idx >= len(queue):
+                continue
+            if self.timing != "recorded":
+                return False  # release is gated on DMA acceptance
+            if self.net.dmas[core].queue_depth >= 16:
+                return False  # poll for queue space
+        return True
+
+    def next_event(self, now: int) -> int | None:
+        pending = [q[self._index[c]].cycle
+                   for c, q in self._queues.items() if self._index[c] < len(q)]
+        if not pending:
+            return None
+        wake = min(pending)
+        return wake if wake > now else now + 1
+
     def step(self, now: int) -> None:
         for core, queue in self._queues.items():
             idx = self._index[core]

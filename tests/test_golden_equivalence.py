@@ -1,0 +1,97 @@
+"""Golden-equivalence: the activity-driven kernel must produce results
+bit-identical to the reference always-step kernel (DESIGN.md §2).
+
+These tests run the same traffic on the same seeds through both kernel
+modes and require exact equality of every observable: delivered-payload
+throughput, per-DMA latency statistics, completed transfers, byte
+counts, protocol counters, and the exact drain cycle.
+"""
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.network import NocNetwork
+from repro.traffic.uniform import uniform_random
+
+SEEDS = [1, 7, 42]
+
+CONFIGS = {
+    "slim4x4": (NocConfig.slim(), dict(load=0.5, max_burst_bytes=1000)),
+    "wide2x2": (NocConfig.wide(2, 2), dict(load=0.7, max_burst_bytes=4096,
+                                           read_fraction=0.3)),
+}
+
+RUN_CYCLES = 1200
+
+
+def observe(cfg: NocConfig, traffic_kwargs: dict, seed: int,
+            always_step: bool):
+    """Run, quiesce, drain; return every simulation observable."""
+    net = NocNetwork(cfg, always_step=always_step)
+    traffic = uniform_random(net, seed=seed, **traffic_kwargs).install()
+    net.run(RUN_CYCLES)
+    mid_throughput = net.aggregate_throughput_gib_s()
+    traffic.quiesce()
+    net.drain(max_cycles=200_000)
+    lat = [d.latency_stats.summary() for d in net.dmas if d is not None]
+    per_dma = [(d.transfers_completed, d.bytes_read, d.errors)
+               for d in net.dmas if d is not None]
+    per_mem = [(m.bytes_written, m.bursts_written, m.bursts_read)
+               for m in net.memories if m is not None]
+    return {
+        "drain_cycle": net.sim.now,
+        "throughput_gib_s": net.aggregate_throughput_gib_s(RUN_CYCLES),
+        "mid_throughput_gib_s": mid_throughput,
+        "transfers_completed": net.transfers_completed(),
+        "total_bytes": net.total_bytes(),
+        "offered": (traffic.offered_transfers, traffic.offered_bytes),
+        "latency": lat,
+        "per_dma": per_dma,
+        "per_mem": per_mem,
+        "counters": net.counters.as_dict(),
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_activity_mode_matches_always_step(name, seed):
+    cfg, traffic_kwargs = CONFIGS[name]
+    activity = observe(cfg, traffic_kwargs, seed, always_step=False)
+    reference = observe(cfg, traffic_kwargs, seed, always_step=True)
+    # Compare field by field for a readable diff on failure; values must
+    # be bit-identical (== on floats, no approx).
+    for key in reference:
+        assert activity[key] == reference[key], key
+
+
+def test_repeated_drain_is_idempotent_in_both_modes():
+    """Draining an already-settled network consumes zero cycles in both
+    kernel modes (the always-step loop evaluates the settle condition
+    before stepping, exactly like the activity kernel's quiet-gap
+    check)."""
+    cfg, traffic_kwargs = CONFIGS["slim4x4"]
+    for always_step in (False, True):
+        net = NocNetwork(cfg, always_step=always_step)
+        traffic = uniform_random(net, seed=1, **traffic_kwargs).install()
+        net.run(1200)
+        traffic.quiesce()
+        first = net.drain(max_cycles=50_000)
+        assert net.drain(max_cycles=50_000) == first
+        assert net.drain(max_cycles=50_000) == first
+
+
+def test_drain_cycle_is_exact():
+    """Both modes stop drain on the same exact cycle (no checkpoint
+    rounding), and the network is truly idle there."""
+    cfg, traffic_kwargs = CONFIGS["slim4x4"]
+    results = []
+    for always_step in (False, True):
+        net = NocNetwork(cfg, always_step=always_step)
+        traffic = uniform_random(net, seed=5, **traffic_kwargs).install()
+        net.run(800)
+        traffic.quiesce()
+        stop = net.drain(max_cycles=100_000)
+        assert net.idle()
+        assert net.sim.all_quiet()
+        results.append(stop)
+    assert results[0] == results[1]

@@ -1,7 +1,8 @@
-"""Tests for the cycle-driven simulation kernel."""
+"""Tests for the activity-driven simulation kernel."""
 
 import pytest
 
+from repro.sim.fifo import TimedFifo
 from repro.sim.kernel import Component, Simulator
 
 
@@ -11,6 +12,23 @@ class Ticker(Component):
 
     def step(self, now):
         self.ticks.append(now)
+
+
+class Sleeper(Component):
+    """Steps once, then sleeps until an explicit wake (or forever)."""
+
+    def __init__(self, wake_after=None):
+        self.ticks = []
+        self.wake_after = wake_after
+
+    def step(self, now):
+        self.ticks.append(now)
+
+    def quiet(self):
+        return True
+
+    def next_event(self, now):
+        return None if self.wake_after is None else now + self.wake_after
 
 
 class TestSimulator:
@@ -83,3 +101,149 @@ class TestSimulator:
         sim.run(5)
         sim.finalize()
         assert seen == [5]
+
+
+class TestActivityKernel:
+    def test_legacy_components_step_every_cycle(self):
+        """Components without a quiet() override are always active."""
+        sim = Simulator()
+        ticker = sim.add(Ticker())
+        sim.run(50)
+        assert ticker.ticks == list(range(50))
+
+    def test_quiet_component_fast_forwards(self):
+        sim = Simulator()
+        sleeper = sim.add(Sleeper())
+        assert sim.run(1_000_000) == 1_000_000  # O(1), not O(cycles)
+        assert sleeper.ticks == [0]  # stepped once, then retired
+
+    def test_next_event_wakes_at_exact_cycle(self):
+        sim = Simulator()
+        sleeper = sim.add(Sleeper(wake_after=10))
+        sim.run(35)
+        assert sleeper.ticks == [0, 10, 20, 30]
+
+    def test_until_is_evaluated_inside_quiet_gaps(self):
+        sim = Simulator()
+        sim.add(Sleeper())
+        sim.run(1_000, until=lambda now: now >= 123)
+        assert sim.now == 123
+
+    def test_progress_fires_inside_quiet_gaps(self):
+        seen = []
+        sim = Simulator()
+        sim.add(Sleeper())
+        sim.run(100, progress_every=25, progress=seen.append)
+        assert seen == [25, 50, 75, 100]
+
+    def test_fifo_push_wakes_consumer_at_visibility(self):
+        sim = Simulator()
+
+        class Consumer(Component):
+            def __init__(self):
+                self.fifo = TimedFifo(capacity=4, latency=3)
+                self.fifo.consumer = self
+                self.popped_at = []
+
+            def step(self, now):
+                if self.fifo.peek(now) is not None:
+                    self.fifo.pop(now)
+                    self.popped_at.append(now)
+
+            def quiet(self):
+                return len(self.fifo) == 0
+
+        consumer = sim.add(Consumer())
+        sim.run(10)  # consumer retires after its first step
+        consumer.fifo.push("beat", sim.now)
+        sim.run(20)
+        assert consumer.popped_at == [13]  # 10 + latency 3, exactly
+
+    def test_external_wake_revives_component(self):
+        sim = Simulator()
+        sleeper = sim.add(Sleeper())
+        sim.run(10)
+        sleeper.wake(sim.now)
+        sim.run(10)
+        assert sleeper.ticks == [0, 10]
+
+    def test_step_return_value_retires_component(self):
+        class OneShot(Component):
+            def __init__(self):
+                self.steps = 0
+
+            def step(self, now):
+                self.steps += 1
+                return True  # quiet immediately, without a quiet() call
+
+            def quiet(self):  # pragma: no cover - must not be consulted
+                raise AssertionError("kernel should trust step()'s return")
+
+        sim = Simulator()
+        one = sim.add(OneShot())
+        sim.run(100)
+        assert one.steps == 1
+
+    def test_earlier_wake_supersedes_later(self):
+        """Wakes are monotone: an earlier wake replaces a pending later
+        one (the component re-derives any remaining obligation via
+        next_event when it retires again)."""
+        sim = Simulator()
+        sleeper = sim.add(Sleeper())
+        sim.run(2)  # retired after its step at cycle 0
+        sim.wake_at(sleeper, 5)
+        sim.wake_at(sleeper, 3)
+        sim.run(18)
+        assert sleeper.ticks == [0, 3]
+
+    def test_wake_for_active_component_is_noop(self):
+        """A wake aimed at a component already in the active set is
+        dropped: the component steps anyway, and its retirement
+        re-derives future obligations."""
+        sim = Simulator()
+        ticker = sim.add(Ticker())
+        sim.wake_at(ticker, 5)
+        sim.run(10)
+        assert ticker.ticks == list(range(10))
+
+    def test_always_step_mode_matches_reference_loop(self):
+        fast = Simulator(activity=True)
+        slow = Simulator(activity=False)
+        a, b = fast.add(Sleeper(wake_after=7)), slow.add(Sleeper(wake_after=7))
+        fast.run(50)
+        slow.run(50)
+        # The always-step kernel steps every cycle; the activity kernel
+        # must act on exactly the cycles where the reference could have
+        # made progress.
+        assert b.ticks == list(range(50))
+        assert a.ticks == [0, 7, 14, 21, 28, 35, 42, 49]
+
+    def test_all_quiet_accounts_for_future_work(self):
+        sim = Simulator()
+        sim.add(Sleeper(wake_after=30))
+        sim.run(1)
+        assert not sim.all_quiet()  # a wake is pending in the heap
+
+    def test_all_quiet_when_everything_retired(self):
+        sim = Simulator()
+        sim.add(Sleeper())
+        sim.run(5)
+        assert sim.all_quiet()
+
+    def test_drain_transparent_source_does_not_block_all_quiet(self):
+        source = Sleeper(wake_after=100)
+        source.drain_transparent = True
+        sim = Simulator()
+        sim.add(source)
+        sim.run(1)
+        assert sim.all_quiet()
+
+    def test_active_count_shrinks_and_grows(self):
+        sim = Simulator()
+        sim.add(Ticker())
+        sleeper = sim.add(Sleeper())
+        sim.run(5)
+        assert sim.active_count == 1
+        sleeper.wake(sim.now)
+        sim.run(1)
+        assert sleeper.ticks == [0, 5]

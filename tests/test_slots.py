@@ -1,0 +1,49 @@
+"""The hot-path value classes must be __slots__-only: beats and
+transactions are allocated per burst/beat on the simulator's hottest
+paths, and an instance ``__dict__`` would both bloat them and silently
+swallow typo'd attribute writes."""
+
+import pytest
+
+from repro.axi.beats import AddrBeat, BBeat, RBeat, WBeat
+from repro.axi.transaction import Burst, Transfer
+from repro.sim.fifo import TimedFifo
+
+
+def hot_instances():
+    return [
+        AddrBeat(1, 0x100, 4, 16, dest=0, src=1),
+        WBeat(False, 4),
+        BBeat(2),
+        RBeat(3, True, 4),
+        Transfer(src=0, addr=0, nbytes=64, is_read=True),
+        Burst(addr=0, nbytes=64, beats=2),
+        TimedFifo(),
+    ]
+
+
+@pytest.mark.parametrize("obj", hot_instances(),
+                         ids=lambda o: type(o).__name__)
+def test_no_instance_dict(obj):
+    with pytest.raises(AttributeError):
+        obj.__dict__
+
+
+@pytest.mark.parametrize("obj", hot_instances(),
+                         ids=lambda o: type(o).__name__)
+def test_unknown_attribute_write_rejected(obj):
+    # Frozen slotted dataclasses raise TypeError here on CPython 3.11
+    # (the frozen __setattr__/slots interaction); everything else raises
+    # AttributeError.  Either way the write must not succeed.
+    with pytest.raises((AttributeError, TypeError)):
+        obj.no_such_attribute = 1
+
+
+def test_transfer_scratch_fields_still_work():
+    """The DMA engine's completion-tracking scratch state is declared in
+    the slots (it used to rely on an instance dict)."""
+    t = Transfer(src=0, addr=0, nbytes=64, is_read=False)
+    t._bursts_left = 3
+    t._split_done = True
+    t._start_cycle = 17
+    assert (t._bursts_left, t._split_done, t._start_cycle) == (3, True, 17)
