@@ -1,33 +1,45 @@
 #!/usr/bin/env python
-"""Where does the traffic flow?  Per-link utilization heatmaps for the
-three synthetic patterns — the per-link view behind Fig. 6's
-bisection-level utilization numbers.
+"""Where does the traffic flow?  Per-link utilization for the three
+synthetic patterns — the per-link view behind Fig. 6's bisection-level
+utilization numbers.
 
 All-global access piles onto the links around the single slave XP while
 the rest of the mesh idles; max-1-hop spreads load across every edge.
+Scenario runs capture per-link numbers declaratively
+(``MeasureSpec(per_link=True)``); the ASCII grid at the end uses the
+imperative :class:`~repro.eval.heatmap.LinkHeatmap` directly.
 """
 
-from repro import NocConfig
+from repro import MeasureSpec, NocConfig, Scenario, TrafficSpec, run_scenario
 from repro.eval.heatmap import LinkHeatmap
 from repro.traffic import PATTERNS, build_synthetic_network, synthetic_traffic
 
 
 def main() -> None:
-    cfg = NocConfig.slim()
     for pattern in PATTERNS.values():
-        net, _slaves = build_synthetic_network(cfg, pattern)
-        synthetic_traffic(net, pattern, load=1.0, max_burst_bytes=10_000,
-                          seed=3).install()
-        net.run(3_000)  # warm up
-        heat = LinkHeatmap(net)
-        heat.open_window()
-        net.run(10_000)
+        result = run_scenario(Scenario(
+            traffic=TrafficSpec.synthetic(pattern.key, 10_000),
+            measure=MeasureSpec(warmup=3_000, window=10_000, per_link=True),
+            seed=3))
+        hottest = sorted(result.link_utilization.items(),
+                         key=lambda kv: -kv[1])[:3]
+        top = ", ".join(f"{name} {100 * u:.0f}%" for name, u in hottest)
         print(f"=== {pattern.title} "
-              f"({net.aggregate_throughput_gib_s():.1f} GiB/s dirty est.) ===")
-        print(heat.render())
-        top = ", ".join(f"{name} {100 * u:.0f}%"
-                        for name, u in heat.busiest(3))
+              f"({result.throughput_gib_s:.1f} GiB/s) ===")
         print(f"hottest links: {top}\n")
+
+    # The full ASCII grid for the hot-spot pattern, via the imperative API.
+    pattern = PATTERNS["all_global"]
+    cfg = NocConfig.slim()
+    net, _slaves = build_synthetic_network(cfg, pattern)
+    synthetic_traffic(net, pattern, load=1.0, max_burst_bytes=10_000,
+                      seed=3).install()
+    net.run(3_000)  # warm up
+    heat = LinkHeatmap(net)
+    heat.open_window()
+    net.run(10_000)
+    print(f"=== {pattern.title}: full grid ===")
+    print(heat.render())
 
 
 if __name__ == "__main__":

@@ -6,11 +6,18 @@ Covers the core public API in ~40 lines:
 * ``NocConfig`` — pick a Table I design point,
 * ``NocNetwork`` — generate the mesh with one DMA+L1 tile per node,
 * explicit ``Transfer`` submission and completion callbacks,
-* ``uniform_random`` traffic and throughput/latency measurement.
+* the declarative scenario API — one spec per measured point.
 """
 
-from repro import NocConfig, NocNetwork, Transfer
-from repro.traffic import uniform_random
+from repro import (
+    MeasureSpec,
+    NocConfig,
+    NocNetwork,
+    Scenario,
+    TrafficSpec,
+    Transfer,
+    run_scenario,
+)
 
 
 def explicit_transfers() -> None:
@@ -31,22 +38,16 @@ def explicit_transfers() -> None:
 
 
 def load_sweep() -> None:
-    """The slim 4x4 NoC of the paper under uniform random DMA traffic."""
+    """The slim 4x4 NoC of the paper under uniform random DMA traffic,
+    one declarative :class:`Scenario` per load point."""
     print("slim 4x4 (DW=32), uniform random bursts < 1 KiB:")
     print(f"  {'load':>6}  {'GiB/s':>7}  {'p50 latency':>12}")
     for load in (0.05, 0.2, 0.5, 1.0):
-        net = NocNetwork(NocConfig.slim())
-        uniform_random(net, load=load, max_burst_bytes=1000,
-                       seed=7).install()
-        net.set_warmup(3_000)
-        net.run(13_000)
-        lat = sorted(
-            t.dma.latency_stats.percentile(0.5)
-            for t in net.tiles if t.dma is not None
-            and t.dma.latency_stats.count)
-        p50 = lat[len(lat) // 2] if lat else float("nan")
-        print(f"  {load:6.2f}  {net.aggregate_throughput_gib_s():7.2f}"
-              f"  {p50:9.0f} cyc")
+        result = run_scenario(Scenario(
+            traffic=TrafficSpec.uniform(load, 1000, read_fraction=0.5),
+            measure=MeasureSpec(warmup=3_000, window=10_000), seed=7))
+        print(f"  {load:6.2f}  {result.throughput_gib_s:7.2f}"
+              f"  {result.latency_p50:9.0f} cyc")
 
 
 if __name__ == "__main__":

@@ -4,7 +4,19 @@ evaluation stack — cycle-level AXI mesh simulator, classical packet-NoC
 baseline, synthetic and DNN traffic generators, and calibrated
 area/power models.
 
-Quickstart::
+Quickstart (declarative scenario API, DESIGN.md §9)::
+
+    from repro import (
+        MeasureSpec, Scenario, TopologySpec, TrafficSpec, run_scenario,
+    )
+
+    result = run_scenario(Scenario(
+        topology=TopologySpec.slim(),
+        traffic=TrafficSpec.uniform(load=0.1, max_burst_bytes=1000),
+        measure=MeasureSpec.quick()))
+    print(f"{result.throughput_gib_s:.2f} GiB/s")
+
+or imperatively::
 
     from repro import NocConfig, NocNetwork
     from repro.traffic import UniformRandomTraffic
@@ -29,23 +41,43 @@ from repro.noc import (
     ring,
     utilization,
 )
+from repro.scenarios import (
+    MeasureSpec,
+    Result,
+    Scenario,
+    Sweep,
+    TopologySpec,
+    TrafficSpec,
+    run_scenario,
+    run_sweep,
+    sweep,
+)
 from repro.sim import Simulator
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "MeasureSpec",
     "Mesh2D",
     "MemoryMap",
     "NocConfig",
     "NocNetwork",
     "Region",
+    "Result",
+    "Scenario",
     "Simulator",
+    "Sweep",
     "TileSpec",
+    "TopologySpec",
     "Torus2D",
+    "TrafficSpec",
     "Transfer",
     "bisection_gbit_s",
     "bisection_gib_s",
     "ring",
+    "run_scenario",
+    "run_sweep",
+    "sweep",
     "utilization",
     "__version__",
 ]

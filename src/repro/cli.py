@@ -1,10 +1,12 @@
-"""Command-line interface: regenerate any table or figure of the paper.
+"""Command-line interface: regenerate paper figures or run arbitrary
+spec-driven scenario sweeps.
 
 Usage::
 
     patronoc list
-    patronoc run fig4 [--quick] [--csv results/]
+    patronoc run fig4 [--quick] [--seed N] [--csv DIR] [--json DIR]
     patronoc run all --quick
+    patronoc sweep spec.json --jobs 4 --out artifacts/
     patronoc info AXI_32_512_4 --rows 4 --cols 4 --mot 8
     python -m repro run fig8
 """
@@ -16,7 +18,8 @@ import sys
 import time
 
 from repro.eval.experiments import EXPERIMENTS, run_experiment
-from repro.eval.report import render_text, save_csv
+from repro.eval.report import render_text, save_csv, save_json
+from repro.scenarios import MeasureSpec
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -31,8 +34,23 @@ def build_parser() -> argparse.ArgumentParser:
                       help="which table/figure to regenerate")
     runp.add_argument("--quick", action="store_true",
                       help="reduced windows/points for a fast pass")
+    runp.add_argument("--seed", type=int, default=1,
+                      help="RNG seed for every measured point")
     runp.add_argument("--csv", metavar="DIR", default=None,
                       help="also dump each section as CSV into DIR")
+    runp.add_argument("--json", metavar="DIR", default=None,
+                      help="also dump each result as JSON into DIR")
+    sweepp = sub.add_parser(
+        "sweep", help="run a user-defined scenario sweep from a spec file")
+    sweepp.add_argument("spec",
+                        help="sweep spec: .json (base+axes, scenario, or "
+                             "scenario list) or .py (defines SWEEP / "
+                             "SCENARIOS / SCENARIO)")
+    sweepp.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (results are identical "
+                             "for any job count)")
+    sweepp.add_argument("--out", metavar="DIR", default=None,
+                        help="write results.json + results.csv into DIR")
     infop = sub.add_parser(
         "info", help="area/power/bandwidth of one configuration")
     infop.add_argument("label", help="configuration label, e.g. AXI_32_64_4")
@@ -67,6 +85,58 @@ def _info(args) -> int:
     return 0
 
 
+def _run(args) -> int:
+    measure = MeasureSpec.coerce(args.quick)
+    targets = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    timings: list[tuple[str, float]] = []
+    for exp_id in targets:
+        start = time.time()
+        result = run_experiment(exp_id, measure=measure, seed=args.seed)
+        elapsed = time.time() - start
+        timings.append((exp_id, elapsed))
+        print(render_text(result))
+        print(f"[{exp_id} completed in {elapsed:.1f}s]")
+        if args.csv:
+            for path in save_csv(result, args.csv):
+                print(f"wrote {path}")
+        if args.json:
+            print(f"wrote {save_json(result, args.json)}")
+    if len(targets) > 1:
+        total = sum(t for _id, t in timings)
+        slowest = max(timings, key=lambda it: it[1])
+        print(f"all: {len(timings)} experiments in {total:.1f}s "
+              f"(slowest: {slowest[0]} at {slowest[1]:.1f}s)")
+    return 0
+
+
+def _sweep(args) -> int:
+    from repro.eval.report import ExperimentResult
+    from repro.scenarios import load_spec, run_sweep, save_artifacts
+
+    points = load_spec(args.spec)
+    print(f"{args.spec}: {len(points)} point(s), jobs={args.jobs}")
+    start = time.time()
+    results = run_sweep(points, jobs=args.jobs)
+    elapsed = time.time() - start
+    table = ExperimentResult("sweep", f"{len(points)} scenario point(s)")
+    sec = table.section(
+        "results", ["scenario", "GiB/s", "util_pct", "p50_lat", "cycles"])
+    for result in results:
+        sec.add(result.name, result.throughput_gib_s,
+                result.utilization_pct if result.utilization_pct is not None
+                else "-",
+                result.latency_p50 if result.latency_p50 is not None
+                else "-",
+                result.cycles)
+    print(render_text(table))
+    print(f"[sweep completed in {elapsed:.1f}s]")
+    if args.out:
+        for path in save_artifacts(points, results, args.out):
+            print(f"wrote {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -75,17 +145,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "info":
         return _info(args)
-    targets = sorted(EXPERIMENTS) if args.experiment == "all" \
-        else [args.experiment]
-    for exp_id in targets:
-        start = time.time()
-        result = run_experiment(exp_id, quick=args.quick)
-        print(render_text(result))
-        print(f"[{exp_id} completed in {time.time() - start:.1f}s]")
-        if args.csv:
-            for path in save_csv(result, args.csv):
-                print(f"wrote {path}")
-    return 0
+    if args.command == "sweep":
+        return _sweep(args)
+    return _run(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

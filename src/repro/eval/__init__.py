@@ -2,7 +2,13 @@
 
 from repro.eval.experiments import EXPERIMENTS, run_all, run_experiment
 from repro.eval.heatmap import LinkHeatmap
-from repro.eval.report import ExperimentResult, Section, render_text, save_csv
+from repro.eval.report import (
+    ExperimentResult,
+    Section,
+    render_text,
+    save_csv,
+    save_json,
+)
 from repro.eval.runner import (
     MeasuredPoint,
     run_baseline_point,
@@ -26,5 +32,6 @@ __all__ = [
     "run_synthetic_point",
     "run_uniform_point",
     "save_csv",
+    "save_json",
     "windows",
 ]

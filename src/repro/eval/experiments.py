@@ -1,5 +1,12 @@
 """Experiment registry: every table and figure of the paper's evaluation,
-mapped to its regenerating function (see DESIGN.md §4)."""
+mapped to its regenerating function (see DESIGN.md §4 and §9).
+
+Runners share one signature: ``run(measure, seed) -> ExperimentResult``,
+where ``measure`` is a :class:`~repro.scenarios.spec.MeasureSpec` (or
+anything its ``coerce`` accepts, including the legacy ``quick`` bool).
+Each runner is a set of :class:`~repro.scenarios.spec.Scenario`
+instantiations arranged into the paper's figure layout.
+"""
 
 from __future__ import annotations
 
@@ -7,10 +14,10 @@ from typing import Callable
 
 from repro.eval import fig2, fig3, fig4, fig6, fig8, power, table1, table2
 from repro.eval.report import ExperimentResult
+from repro.scenarios import MeasureSpec
 
-#: id → (description, runner).  Runners take ``quick`` and return an
-#: :class:`~repro.eval.report.ExperimentResult`.
-EXPERIMENTS: dict[str, tuple[str, Callable[[bool], ExperimentResult]]] = {
+#: id → (description, runner).
+EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
     "table1": ("Table I: mesh parameter space", table1.run),
     "fig2": ("Fig. 2: 2x2 area vs bisection bandwidth vs ESP-NoC", fig2.run),
     "fig3": ("Fig. 3: 4x4 scaling and MOT/area tradeoff", fig3.run),
@@ -22,13 +29,24 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[bool], ExperimentResult]]] = {
 }
 
 
-def run_experiment(exp_id: str, quick: bool = False) -> ExperimentResult:
+def run_experiment(exp_id: str, quick: bool = False, *,
+                   measure: MeasureSpec | None = None,
+                   seed: int = 1) -> ExperimentResult:
+    """Regenerate one experiment.
+
+    ``measure`` overrides the preset; without it, ``quick`` picks
+    between :meth:`MeasureSpec.quick` and :meth:`MeasureSpec.full`.
+    """
     if exp_id not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {exp_id!r}; choose from {sorted(EXPERIMENTS)}")
+    if measure is None:
+        measure = MeasureSpec.coerce(quick)
     _desc, runner = EXPERIMENTS[exp_id]
-    return runner(quick)
+    return runner(measure, seed)
 
 
-def run_all(quick: bool = False) -> list[ExperimentResult]:
-    return [run_experiment(exp_id, quick) for exp_id in EXPERIMENTS]
+def run_all(quick: bool = False, *, measure: MeasureSpec | None = None,
+            seed: int = 1) -> list[ExperimentResult]:
+    return [run_experiment(exp_id, quick, measure=measure, seed=seed)
+            for exp_id in EXPERIMENTS]

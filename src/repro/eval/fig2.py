@@ -23,7 +23,8 @@ FIG2_CONFIGS = (
 PAPER_AREAS = {"AXI_32_32_2": 174.0, "AXI_32_512_2": 830.0}
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(measure=None, seed: int = 1) -> ExperimentResult:
+    del measure, seed  # analytic: no simulation, no measurement window
     result = ExperimentResult(
         "fig2", "2x2 mesh: area vs bisection bandwidth (vs ESP-NoC)")
     sec = result.section(

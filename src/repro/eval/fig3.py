@@ -20,7 +20,8 @@ FIG3_CONFIGS = (
 MOT_SWEEP = (1, 2, 4, 8, 16, 32, 64, 128)
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(measure=None, seed: int = 1) -> ExperimentResult:
+    del measure, seed  # analytic: no simulation, no measurement window
     result = ExperimentResult(
         "fig3", "4x4 mesh scaling: area vs bandwidth, area vs MOT")
     left = result.section(

@@ -7,13 +7,22 @@ aggregate of delivered payload; the baseline is reported in Noxim's
 per-node convention (flits/cycle/node × 4 B), which is what the paper's
 1.6/2.25 GiB/s curves correspond to.  Traffic is DMA writes
 (``read_fraction=0``), matching the push-DMA testbench.
+
+Every point is one :class:`~repro.scenarios.spec.Scenario`; the figure
+is a grid instantiation over {load × burst cap} ∪ {load × baseline
+config}.
 """
 
 from __future__ import annotations
 
 from repro.eval.report import ExperimentResult
-from repro.eval.runner import run_baseline_point, run_uniform_point, windows
-from repro.noc.config import NocConfig
+from repro.scenarios import (
+    MeasureSpec,
+    Scenario,
+    TopologySpec,
+    TrafficSpec,
+    run_scenario,
+)
 
 BURST_CAPS = (4, 100, 1000, 10000, 64000)
 FULL_LOADS = (0.0001, 0.001, 0.01, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0)
@@ -30,10 +39,11 @@ PAPER_SATURATION = {
 }
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    warmup, window = windows(quick)
-    loads = QUICK_LOADS if quick else FULL_LOADS
-    cfg = NocConfig.slim()
+def run(measure: MeasureSpec | bool | None = None,
+        seed: int = 1) -> ExperimentResult:
+    measure = MeasureSpec.coerce(measure)
+    loads = QUICK_LOADS if measure.is_quick else FULL_LOADS
+    slim = TopologySpec.slim()
     result = ExperimentResult(
         "fig4", "uniform random traffic: throughput vs injected load "
         "(slim 4x4 PATRONoC vs packet baseline)")
@@ -45,9 +55,11 @@ def run(quick: bool = False) -> ExperimentResult:
     for load in loads:
         row = [load]
         for burst in BURST_CAPS:
-            point = run_uniform_point(cfg, load, burst, warmup=warmup,
-                                      window=window)
-            series[f"burst<{burst}"].append(point.throughput_gib_s)
+            point = run_scenario(Scenario(
+                topology=slim,
+                traffic=TrafficSpec.uniform(load, burst),
+                measure=measure, seed=seed))
+            series[point.label].append(point.throughput_gib_s)
             row.append(point.throughput_gib_s)
         curves.add(*row)
 
@@ -59,9 +71,11 @@ def run(quick: bool = False) -> ExperimentResult:
     for load in loads:
         row = [load]
         for n_vcs, buf in BASELINE_CONFIGS:
-            point = run_baseline_point(load, n_vcs=n_vcs, buf_depth=buf,
-                                       warmup=warmup, window=window)
-            base_series[f"VC={n_vcs},Buf={buf}"].append(point.throughput_gib_s)
+            point = run_scenario(Scenario(
+                topology=TopologySpec.baseline(n_vcs, buf),
+                traffic=TrafficSpec.uniform(load, 1),
+                measure=measure, seed=seed))
+            base_series[point.label].append(point.throughput_gib_s)
             row.append(point.throughput_gib_s)
         base.add(*row)
 

@@ -1,13 +1,21 @@
 """Fig. 6 — NoC utilization at maximum injected load for the three
 synthetic patterns (all-global / max-2-hop / max-1-hop) on the slim and
-wide 4×4 PATRONoC, across the five burst-length caps."""
+wide 4×4 PATRONoC, across the five burst-length caps.
+
+Each bar is one :class:`~repro.scenarios.spec.Scenario` over
+{config × pattern × burst cap}."""
 
 from __future__ import annotations
 
 from repro.eval.report import ExperimentResult
-from repro.eval.runner import run_synthetic_point, windows
 from repro.noc.bandwidth import bisection_gib_s
-from repro.noc.config import NocConfig
+from repro.scenarios import (
+    MeasureSpec,
+    Scenario,
+    TopologySpec,
+    TrafficSpec,
+    run_scenario,
+)
 from repro.traffic.synthetic import ALL_GLOBAL, MAX_ONE_HOP, MAX_TWO_HOP
 
 BURST_CAPS = (4, 100, 1000, 10000, 64000)
@@ -31,13 +39,15 @@ PAPER_UTILIZATION = {
 }
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    warmup, window = windows(quick)
-    caps = QUICK_CAPS if quick else BURST_CAPS
+def run(measure: MeasureSpec | bool | None = None,
+        seed: int = 1) -> ExperimentResult:
+    measure = MeasureSpec.coerce(measure)
+    caps = QUICK_CAPS if measure.is_quick else BURST_CAPS
     result = ExperimentResult(
         "fig6", "synthetic patterns: utilization at maximum injected load")
-    for label, cfg in (("slim", NocConfig.slim()), ("wide", NocConfig.wide())):
-        bisection = bisection_gib_s(cfg)
+    for label, topo in (("slim", TopologySpec.slim()),
+                        ("wide", TopologySpec.wide())):
+        bisection = bisection_gib_s(topo.noc_config())
         for pattern in PATTERNS:
             sec = result.section(
                 f"{label} NoC ({bisection:.0f} GiB/s bisection): "
@@ -46,8 +56,10 @@ def run(quick: bool = False) -> ExperimentResult:
                  "paper_pct"])
             paper = PAPER_UTILIZATION[(label, pattern.key)]
             for cap in caps:
-                point = run_synthetic_point(cfg, pattern, cap,
-                                            warmup=warmup, window=window)
+                point = run_scenario(Scenario(
+                    topology=topo,
+                    traffic=TrafficSpec.synthetic(pattern.key, cap),
+                    measure=measure, seed=seed))
                 sec.add(cap, point.throughput_gib_s,
                         point.utilization_pct, paper.get(cap, "-"))
     result.note("utilization = aggregate throughput / bidirectional "

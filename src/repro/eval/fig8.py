@@ -1,12 +1,22 @@
 """Fig. 8 — DNN workload traffic: aggregate throughput of the three
 ResNet-34 workloads (distributed training, parallelized convolution,
-pipelined convolution) on the slim and wide 4×4 PATRONoC."""
+pipelined convolution) on the slim and wide 4×4 PATRONoC.
+
+Each bar is one dnn-traffic :class:`~repro.scenarios.spec.Scenario`;
+with the stock presets, windows are workload-derived because pipeline
+fill and batch structure set the sensible window, not a fixed preset —
+explicitly pinned windows are honored per-field."""
 
 from __future__ import annotations
 
 from repro.eval.report import ExperimentResult
-from repro.eval.runner import run_dnn_workload
-from repro.noc.config import NocConfig
+from repro.scenarios import (
+    MeasureSpec,
+    Scenario,
+    TopologySpec,
+    TrafficSpec,
+    run_scenario,
+)
 
 WORKLOAD_ORDER = ("train", "par", "pipe")
 TITLES = {"train": "Distributed Training",
@@ -20,21 +30,26 @@ PAPER_THROUGHPUT = {
 }
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(measure: MeasureSpec | bool | None = None,
+        seed: int = 1) -> ExperimentResult:
+    measure = MeasureSpec.coerce(measure)
     result = ExperimentResult(
         "fig8", "DNN workload traffic: throughput on slim and wide 4x4")
-    for label, cfg in (("slim", NocConfig.slim()), ("wide", NocConfig.wide())):
+    for label, topo in (("slim", TopologySpec.slim()),
+                        ("wide", TopologySpec.wide())):
         sec = result.section(
-            f"{label} NoC (DW={cfg.data_width})",
+            f"{label} NoC (DW={topo.data_width})",
             ["workload", "throughput_GiB_s", "paper_GiB_s", "ratio"])
         for key in WORKLOAD_ORDER:
-            point = run_dnn_workload(cfg, key, quick=quick)
+            point = run_scenario(Scenario(
+                topology=topo, traffic=TrafficSpec.dnn(key),
+                measure=measure, seed=seed))
             paper = PAPER_THROUGHPUT[(label, key)]
             sec.add(TITLES[key], point.throughput_gib_s, paper,
                     point.throughput_gib_s / paper)
     result.note("training measured over one full batch (read shard, "
                 "fwd/bwd, tree reduction, L2 write-back, model "
                 "re-replication); par/pipe measured in steady state")
-    if quick:
+    if measure.is_quick:
         result.note("quick mode: model scaled to shrink=0.95, input 112x112")
     return result

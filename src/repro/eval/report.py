@@ -1,15 +1,16 @@
-"""Plain-text and CSV rendering for experiment results.
+"""Plain-text, CSV, and JSON rendering for experiment results.
 
 An experiment produces an :class:`ExperimentResult`: a title, optional
 commentary, and a list of sections, each being a header row plus data
 rows.  The CLI prints them as aligned tables (the closest faithful
-terminal rendering of the paper's figures) and can dump CSVs for
-external plotting.
+terminal rendering of the paper's figures) and can dump CSVs and
+machine-readable JSON for external plotting.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -45,6 +46,12 @@ class ExperimentResult:
 
     def note(self, text: str) -> None:
         self.notes.append(text)
+
+    def to_dict(self) -> dict:
+        return {"exp_id": self.exp_id, "title": self.title,
+                "sections": [{"title": s.title, "header": s.header,
+                              "rows": s.rows} for s in self.sections],
+                "notes": list(self.notes)}
 
 
 def _format_cell(value) -> str:
@@ -84,6 +91,15 @@ def render_text(result: ExperimentResult) -> str:
             out.append(f"note: {note}")
     out.append("")
     return "\n".join(out)
+
+
+def save_json(result: ExperimentResult, directory: str | Path) -> Path:
+    """Machine-readable dump of the whole result: ``{exp_id}.json``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.exp_id}.json"
+    path.write_text(json.dumps(result.to_dict(), indent=2))
+    return path
 
 
 def save_csv(result: ExperimentResult, directory: str | Path) -> list[Path]:

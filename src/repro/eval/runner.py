@@ -1,45 +1,48 @@
-"""Shared measurement runners used by every experiment module.
+"""Legacy measurement entry points, now thin wrappers over scenarios.
 
-Methodology (matches the paper's §IV setup):
-
-* PATRONoC points: open-loop Poisson traffic at a given injected load,
-  warm-up then a measurement window; throughput is delivered payload
-  bytes (W at memories + R at masters) per second.
-* Baseline points: the packet mesh at a given flit injection rate,
-  throughput in the Noxim per-node convention (DESIGN.md §6).
-* DNN workloads: steady-state window for the looping workloads
-  (parallel/pipelined; warm-up covers pipeline fill), one full batch for
-  distributed training (its phase structure is longer than any sensible
-  steady-state window).
+The measurement plumbing lives in :mod:`repro.scenarios` (DESIGN.md §9):
+every function here builds a :class:`~repro.scenarios.spec.Scenario` and
+runs it through :func:`~repro.scenarios.run.run_scenario`, then repacks
+the uniform :class:`~repro.scenarios.result.Result` into the historical
+:class:`MeasuredPoint` shape.  Kept for API compatibility; new code
+should construct Scenarios directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.baseline.network import PacketMesh, PacketMeshConfig
-from repro.noc.bandwidth import utilization
 from repro.noc.config import NocConfig
-from repro.sim.stats import GIB
-from repro.traffic.dnn.workloads import WORKLOADS
-from repro.traffic.synthetic import (
-    SyntheticPattern,
-    build_synthetic_network,
-    synthetic_traffic,
+from repro.scenarios import (
+    DEFAULT_WARMUP,
+    DEFAULT_WINDOW,
+    QUICK_WARMUP,
+    QUICK_WINDOW,
+    MeasureSpec,
+    Scenario,
+    TopologySpec,
+    TrafficSpec,
+    run_scenario,
 )
-from repro.traffic.uniform import uniform_random
+from repro.traffic.synthetic import SyntheticPattern
 
-#: Default measurement windows (cycles).  "quick" mode shrinks these for
-#: CI-speed benchmark runs; shapes survive, absolute noise grows.
-DEFAULT_WARMUP = 5_000
-DEFAULT_WINDOW = 25_000
-QUICK_WARMUP = 2_000
-QUICK_WINDOW = 8_000
+__all__ = [
+    "DEFAULT_WARMUP",
+    "DEFAULT_WINDOW",
+    "QUICK_WARMUP",
+    "QUICK_WINDOW",
+    "MeasuredPoint",
+    "run_baseline_point",
+    "run_dnn_workload",
+    "run_synthetic_point",
+    "run_uniform_point",
+    "windows",
+]
 
 
 @dataclass
 class MeasuredPoint:
-    """One measured throughput point."""
+    """One measured throughput point (legacy result shape)."""
 
     label: str
     load: float
@@ -50,9 +53,9 @@ class MeasuredPoint:
 
 
 def windows(quick: bool) -> tuple[int, int]:
-    if quick:
-        return QUICK_WARMUP, QUICK_WINDOW
-    return DEFAULT_WARMUP, DEFAULT_WINDOW
+    """(warmup, window) of the fidelity preset — see
+    :meth:`MeasureSpec.quick` / :meth:`MeasureSpec.full`."""
+    return (MeasureSpec.quick() if quick else MeasureSpec.full()).resolve()
 
 
 def run_uniform_point(cfg: NocConfig, load: float, max_burst_bytes: int, *,
@@ -60,18 +63,14 @@ def run_uniform_point(cfg: NocConfig, load: float, max_burst_bytes: int, *,
                       warmup: int = DEFAULT_WARMUP,
                       window: int = DEFAULT_WINDOW) -> MeasuredPoint:
     """One Fig. 4 PATRONoC point: uniform random traffic at ``load``."""
-    from repro.noc.network import NocNetwork
-
-    net = NocNetwork(cfg)
-    uniform_random(net, load=load, max_burst_bytes=max_burst_bytes,
-                   read_fraction=read_fraction, seed=seed).install()
-    net.set_warmup(warmup)
-    net.run(warmup + window)
-    lat = _aggregate_latency_p50(net)
-    return MeasuredPoint(
-        label=f"burst<{max_burst_bytes}", load=load,
-        throughput_gib_s=net.aggregate_throughput_gib_s(),
-        latency_p50=lat)
+    result = run_scenario(Scenario(
+        topology=TopologySpec.from_noc_config(cfg),
+        traffic=TrafficSpec.uniform(load, max_burst_bytes,
+                                    read_fraction=read_fraction),
+        measure=MeasureSpec(warmup, window), seed=seed))
+    return MeasuredPoint(label=result.label, load=result.load,
+                         throughput_gib_s=result.throughput_gib_s,
+                         latency_p50=result.latency_p50)
 
 
 def run_synthetic_point(cfg: NocConfig, pattern: SyntheticPattern,
@@ -80,16 +79,15 @@ def run_synthetic_point(cfg: NocConfig, pattern: SyntheticPattern,
                         warmup: int = DEFAULT_WARMUP,
                         window: int = DEFAULT_WINDOW) -> MeasuredPoint:
     """One Fig. 6 point: a synthetic pattern at maximum injected load."""
-    net, _slaves = build_synthetic_network(cfg, pattern)
-    synthetic_traffic(net, pattern, load=load,
-                      max_burst_bytes=max_burst_bytes,
-                      read_fraction=read_fraction, seed=seed).install()
-    net.set_warmup(warmup)
-    net.run(warmup + window)
-    thr = net.aggregate_throughput_gib_s()
-    return MeasuredPoint(
-        label=f"{pattern.key}/burst<{max_burst_bytes}", load=load,
-        throughput_gib_s=thr, utilization_pct=utilization(thr, cfg))
+    result = run_scenario(Scenario(
+        topology=TopologySpec.from_noc_config(cfg),
+        traffic=TrafficSpec.synthetic(pattern.key, max_burst_bytes,
+                                      load=load,
+                                      read_fraction=read_fraction),
+        measure=MeasureSpec(warmup, window), seed=seed))
+    return MeasuredPoint(label=result.label, load=result.load,
+                         throughput_gib_s=result.throughput_gib_s,
+                         utilization_pct=result.utilization_pct)
 
 
 def run_baseline_point(rate: float, *, n_vcs: int, buf_depth: int,
@@ -97,63 +95,25 @@ def run_baseline_point(rate: float, *, n_vcs: int, buf_depth: int,
                        warmup: int = DEFAULT_WARMUP,
                        window: int = DEFAULT_WINDOW) -> MeasuredPoint:
     """One Fig. 4 Noxim point at flit injection ``rate``."""
-    mesh = PacketMesh(
-        PacketMeshConfig(rows=rows, cols=cols, n_vcs=n_vcs,
-                         buf_depth=buf_depth),
-        injection_rate=rate, seed=seed)
-    mesh.set_warmup(warmup)
-    mesh.run(warmup + window)
+    result = run_scenario(Scenario(
+        topology=TopologySpec.baseline(n_vcs, buf_depth,
+                                       rows=rows, cols=cols),
+        traffic=TrafficSpec.uniform(rate, 1),
+        measure=MeasureSpec(warmup, window), seed=seed))
     return MeasuredPoint(
-        label=f"VC={n_vcs},Buf={buf_depth}", load=rate,
-        throughput_gib_s=mesh.throughput_gib_s_node(),
-        latency_p50=mesh.latency.percentile(0.5),
-        extra={"aggregate_gib_s": mesh.throughput_gib_s_aggregate()})
+        label=result.label, load=result.load,
+        throughput_gib_s=result.throughput_gib_s,
+        latency_p50=result.latency_p50,
+        extra={"aggregate_gib_s": result.counters["aggregate_gib_s"]})
 
 
 def run_dnn_workload(cfg: NocConfig, key: str, *, quick: bool = False,
                      seed: int = 1) -> MeasuredPoint:
-    """One Fig. 8 bar: a DNN workload on ``cfg``.
-
-    Parallel/pipelined run as steady-state loops; distributed training
-    runs one full batch to completion (see module docstring).  Quick
-    mode shrinks the model further (``shrink=0.95, input_hw=112``) so a
-    training batch fits a benchmark budget; orderings are preserved.
-    """
-    if quick:
-        workload = WORKLOADS[key](cfg, shrink=0.95, input_hw=112)
-    else:
-        workload = WORKLOADS[key](cfg)
-    net = workload.build_network(cfg)
-    scripts = workload.install(net)
-    slim = cfg.data_width <= 64
-    if key == "train":
-        for script in scripts:
-            script.loop = False
-        limit = 4_000_000 if not quick else 2_500_000
-        net.run(limit, until=lambda now: now % 2048 == 0
-                and all(s.done for s in scripts) and net.idle())
-        if not all(s.done for s in scripts):
-            raise RuntimeError("training batch did not complete in budget")
-        thr = net.total_bytes() / net.sim.now * cfg.freq_hz / GIB
-        return MeasuredPoint(label=f"{key}", load=1.0, throughput_gib_s=thr,
-                             extra={"cycles": net.sim.now})
-    if quick:
-        warmup, window = (12_000, 20_000) if slim else (6_000, 10_000)
-    else:
-        warmup, window = (30_000, 120_000) if slim else (10_000, 30_000)
-    net.set_warmup(warmup)
-    net.run(warmup + window)
-    return MeasuredPoint(label=f"{key}", load=1.0,
-                         throughput_gib_s=net.aggregate_throughput_gib_s(),
-                         extra={"cycles": net.sim.now})
-
-
-def _aggregate_latency_p50(net) -> float:
-    """Median of per-DMA median transfer latencies (robust, cheap)."""
-    values = sorted(
-        built.dma.latency_stats.percentile(0.5)
-        for built in net.tiles
-        if built.dma is not None and built.dma.latency_stats.count)
-    if not values:
-        return 0.0
-    return values[len(values) // 2]
+    """One Fig. 8 bar: a DNN workload on ``cfg``."""
+    result = run_scenario(Scenario(
+        topology=TopologySpec.from_noc_config(cfg),
+        traffic=TrafficSpec.dnn(key),
+        measure=MeasureSpec.coerce(quick), seed=seed))
+    return MeasuredPoint(label=result.label, load=result.load,
+                         throughput_gib_s=result.throughput_gib_s,
+                         extra={"cycles": result.cycles})

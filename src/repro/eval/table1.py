@@ -16,7 +16,8 @@ from repro.eval.report import ExperimentResult
 from repro.noc.config import NocConfig
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(measure=None, seed: int = 1) -> ExperimentResult:
+    del measure, seed  # analytic: no simulation, no measurement window
     result = ExperimentResult("table1", "main parameters of the 2D mesh")
     sec = result.section("Table I", ["parameter", "values"])
     sec.add("Mesh Dimension", "N x M")

@@ -12,8 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.eval.report import ExperimentResult
-from repro.eval.runner import run_synthetic_point, windows
-from repro.noc.config import NocConfig
+from repro.scenarios import (
+    MeasureSpec,
+    Scenario,
+    TopologySpec,
+    TrafficSpec,
+    run_scenario,
+)
 from repro.traffic.synthetic import MAX_ONE_HOP
 
 
@@ -44,8 +49,9 @@ LITERATURE = (
 )
 
 
-def run(quick: bool = False) -> ExperimentResult:
-    warmup, window = windows(quick)
+def run(measure: MeasureSpec | bool | None = None,
+        seed: int = 1) -> ExperimentResult:
+    measure = MeasureSpec.coerce(measure)
     result = ExperimentResult(
         "table2", "comparison of PATRONoC with state-of-the-art NoCs")
     sec = result.section(
@@ -54,8 +60,10 @@ def run(quick: bool = False) -> ExperimentResult:
     for row in LITERATURE:
         sec.add(row.work, _mark(row.open_source), _mark(row.full_axi),
                 _mark(row.burst_support), row.configurable, row.noc_bw_gbps)
-    point = run_synthetic_point(NocConfig.wide(), MAX_ONE_HOP, 64000,
-                                warmup=warmup, window=window)
+    point = run_scenario(Scenario(
+        topology=TopologySpec.wide(),
+        traffic=TrafficSpec.synthetic(MAX_ONE_HOP.key, 64000),
+        measure=measure, seed=seed))
     measured_gbps = point.throughput_gib_s * 8  # GiB/s → Gibit/s ≈ Gbps
     sec.add("PATRONoC (this repro)", "yes", "yes", "yes", "yes",
             f"{measured_gbps:.0f}")

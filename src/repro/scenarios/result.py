@@ -1,0 +1,94 @@
+"""The uniform measurement record every scenario run produces.
+
+Whatever the backend (AXI mesh or packet baseline) and traffic kind, a
+run yields one :class:`Result` with the same fields — throughput,
+latency percentiles, raw counters, optional per-link utilization — so
+sweeps, figures, and serialized artifacts all consume one shape.
+Results compare with ``==`` (used to assert parallel == serial sweeps)
+and round-trip through JSON.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+#: Flat CSV column order (counters are JSON-encoded into one cell).
+CSV_COLUMNS = [
+    "name", "backend", "label", "load", "seed", "cycles",
+    "throughput_gib_s", "utilization_pct",
+    "latency_p50", "latency_p90", "latency_p99", "counters",
+]
+
+
+@dataclass(frozen=True)
+class Result:
+    """One scenario's measurements."""
+
+    name: str
+    backend: str
+    label: str
+    load: float
+    seed: int
+    throughput_gib_s: float
+    utilization_pct: float | None = None
+    latency_p50: float | None = None
+    latency_p90: float | None = None
+    latency_p99: float | None = None
+    cycles: int = 0
+    counters: dict = field(default_factory=dict)
+    link_utilization: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Result":
+        return cls(**data)
+
+    def csv_row(self) -> list:
+        row = []
+        for col in CSV_COLUMNS:
+            value = getattr(self, col)
+            if col == "counters":
+                value = json.dumps(value, sort_keys=True)
+            row.append("" if value is None else value)
+        return row
+
+
+def save_results_json(results: list[Result], path: str | Path,
+                      scenarios: list | None = None) -> Path:
+    """Dump results (optionally paired with their scenarios) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if scenarios is not None:
+        payload = [{"scenario": sc.to_dict(), "result": r.to_dict()}
+                   for sc, r in zip(scenarios, results)]
+    else:
+        payload = [r.to_dict() for r in results]
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def save_results_csv(results: list[Result], path: str | Path) -> Path:
+    """Dump results as one flat CSV table."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(CSV_COLUMNS)
+        for result in results:
+            writer.writerow(result.csv_row())
+    return path
+
+
+def load_results_json(path: str | Path) -> list[Result]:
+    """Read back a :func:`save_results_json` artifact."""
+    payload = json.loads(Path(path).read_text())
+    out = []
+    for entry in payload:
+        data = entry["result"] if "result" in entry else entry
+        out.append(Result.from_dict(data))
+    return out

@@ -1,0 +1,215 @@
+"""Parameter-grid sweeps over scenarios, with parallel execution.
+
+A :class:`Sweep` is a base :class:`~repro.scenarios.spec.Scenario` plus
+named axes; :meth:`Sweep.points` expands the cartesian product into
+fully-specified Scenarios (each carrying its own seed, so every point is
+deterministic no matter which worker runs it).  :func:`run_sweep`
+executes points serially or across a :class:`ProcessPoolExecutor` —
+results are bit-identical either way — and :func:`save_artifacts`
+serializes scenario+result pairs to JSON and CSV.
+
+Axis keys are dotted spec paths (``"traffic.load"``,
+``"topology.data_width"``, ``"measure.window"``, ``"seed"``) or the
+short aliases below; whole-spec axes (``"topology"``) accept anything
+the spec's ``coerce`` does (labels like ``"slim"``, dicts, instances)::
+
+    sw = sweep(loads=[0.1, 0.5, 1.0], configs=["slim", "wide"])
+    results = run_sweep(sw, jobs=4, out="artifacts/")
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from repro.scenarios.result import (
+    Result,
+    save_results_csv,
+    save_results_json,
+)
+from repro.scenarios.run import run_scenario
+from repro.scenarios.spec import (
+    SPEC_COERCERS,
+    MeasureSpec,
+    Scenario,
+    TopologySpec,
+    TrafficSpec,
+)
+
+#: Short axis names → dotted spec paths.
+AXIS_ALIASES = {
+    "loads": "traffic.load",
+    "rates": "traffic.load",
+    "burst_caps": "traffic.max_burst_bytes",
+    "read_fractions": "traffic.read_fraction",
+    "patterns": "traffic.pattern",
+    "workloads": "traffic.workload",
+    "configs": "topology",
+    "topologies": "topology",
+    "measures": "measure",
+    "seeds": "seed",
+}
+
+class Sweep:
+    """A base scenario crossed with named parameter axes."""
+
+    def __init__(self, base: Scenario | None = None,
+                 axes: dict | None = None):
+        self.base = base if base is not None else Scenario()
+        self.axes: dict[str, list] = {}
+        for key, values in (axes or {}).items():
+            path = AXIS_ALIASES.get(key, key)
+            if path in self.axes:
+                raise ValueError(
+                    f"axis {key!r} collides with an earlier axis: both "
+                    f"resolve to {path!r}")
+            _check_axis_path(path)
+            self.axes[path] = list(values)
+
+    def __len__(self) -> int:
+        n = 1
+        for values in self.axes.values():
+            n *= len(values)
+        return n
+
+    def points(self) -> list[Scenario]:
+        """Expand the grid: one Scenario per axis-value combination,
+        in row-major order of the axes as given."""
+        paths = list(self.axes)
+        out = []
+        for combo in itertools.product(*self.axes.values()):
+            sc = self.base
+            for path, value in zip(paths, combo):
+                sc = _apply_axis(sc, path, value)
+            out.append(sc)
+        return out
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        # Spec-valued axis entries (configs=[TopologySpec(...)]) encode
+        # as dicts, mirroring the coercion axis application applies.
+        return {"base": self.base.to_dict(),
+                "axes": {k: [v.to_dict() if hasattr(v, "to_dict") else v
+                             for v in values]
+                         for k, values in self.axes.items()}}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Sweep":
+        unknown = set(data) - {"base", "axes"}
+        if unknown:
+            raise ValueError(
+                f"unknown sweep key(s) {sorted(unknown)}; expected "
+                f"base / axes")
+        return cls(base=Scenario.from_dict(data.get("base", {})),
+                   axes=data.get("axes", {}))
+
+
+def sweep(base: Scenario | None = None, **axes) -> Sweep:
+    """Convenience constructor: ``sweep(loads=[...], configs=[...])``."""
+    return Sweep(base=base, axes=axes)
+
+
+def run_sweep(points: Sweep | list[Scenario], *, jobs: int = 1,
+              out: str | Path | None = None) -> list[Result]:
+    """Run every point; return results in point order.
+
+    ``jobs > 1`` fans points out over a process pool.  Each Scenario is
+    self-contained (its own seed), so parallel results are bit-identical
+    to serial.  With ``out`` set, scenario+result artifacts are written
+    there (``results.json``, ``results.csv``).
+    """
+    if isinstance(points, Sweep):
+        points = points.points()
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(points) <= 1:
+        results = [run_scenario(sc) for sc in points]
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            results = list(pool.map(run_scenario, points))
+    if out is not None:
+        save_artifacts(points, results, out)
+    return results
+
+
+def save_artifacts(points: list[Scenario], results: list[Result],
+                   out_dir: str | Path) -> list[Path]:
+    """Write ``results.json`` (scenario+result pairs) and
+    ``results.csv`` (flat table) into ``out_dir``."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    return [
+        save_results_json(results, out_dir / "results.json",
+                          scenarios=points),
+        save_results_csv(results, out_dir / "results.csv"),
+    ]
+
+
+def load_spec(path: str | Path) -> list[Scenario]:
+    """Load a sweep/scenario spec file into a list of points.
+
+    ``.json`` files may be a sweep (``{"base": ..., "axes": ...}``), a
+    single scenario object, or a list of scenario objects.  ``.py``
+    files are executed and must define ``SWEEP`` (a :class:`Sweep`),
+    ``SCENARIOS`` (a list), or ``SCENARIO`` (a single point).
+    """
+    path = Path(path)
+    if path.suffix == ".py":
+        namespace: dict = {}
+        exec(compile(path.read_text(), str(path), "exec"), namespace)
+        if "SWEEP" in namespace:
+            return _as_points(namespace["SWEEP"])
+        if "SCENARIOS" in namespace:
+            return list(namespace["SCENARIOS"])
+        if "SCENARIO" in namespace:
+            return [namespace["SCENARIO"]]
+        raise ValueError(
+            f"{path} defines none of SWEEP / SCENARIOS / SCENARIO")
+    data = json.loads(path.read_text())
+    if isinstance(data, list):
+        return [Scenario.from_dict(d) for d in data]
+    if "axes" in data or "base" in data:
+        return Sweep.from_dict(data).points()
+    return [Scenario.from_dict(data)]
+
+
+def _as_points(value) -> list[Scenario]:
+    if isinstance(value, Sweep):
+        return value.points()
+    if isinstance(value, Scenario):
+        return [value]
+    return list(value)
+
+
+def _check_axis_path(path: str) -> None:
+    head, _, rest = path.partition(".")
+    if head in ("seed", "name") and not rest:
+        return
+    if head in SPEC_COERCERS:
+        if not rest or rest in _axis_fields(head):
+            return
+        raise ValueError(f"unknown {head} field {rest!r} in axis {path!r}")
+    raise ValueError(
+        f"unknown axis {path!r}; use 'seed', 'name', 'topology[.field]', "
+        f"'traffic[.field]', 'measure[.field]', or an alias "
+        f"{sorted(AXIS_ALIASES)}")
+
+
+def _axis_fields(head: str) -> set[str]:
+    cls = {"topology": TopologySpec, "traffic": TrafficSpec,
+           "measure": MeasureSpec}[head]
+    return set(cls.__dataclass_fields__)
+
+
+def _apply_axis(sc: Scenario, path: str, value) -> Scenario:
+    from dataclasses import replace
+
+    head, _, rest = path.partition(".")
+    if head in ("seed", "name"):
+        return replace(sc, **{head: value})
+    if not rest:  # whole-spec axis
+        return replace(sc, **{head: SPEC_COERCERS[head](value)})
+    sub = getattr(sc, head)
+    return replace(sc, **{head: replace(sub, **{rest: value})})
