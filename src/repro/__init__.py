@@ -42,9 +42,13 @@ from repro.noc import (
     utilization,
 )
 from repro.scenarios import (
+    FaultSpec,
+    LinkFault,
     MeasureSpec,
+    PortFault,
     Result,
     Scenario,
+    SimulationTimeout,
     Sweep,
     TopologySpec,
     TrafficSpec,
@@ -57,14 +61,18 @@ from repro.sim import Simulator
 __version__ = "1.1.0"
 
 __all__ = [
+    "FaultSpec",
+    "LinkFault",
     "MeasureSpec",
     "Mesh2D",
     "MemoryMap",
     "NocConfig",
     "NocNetwork",
     "Region",
+    "PortFault",
     "Result",
     "Scenario",
+    "SimulationTimeout",
     "Simulator",
     "Sweep",
     "TileSpec",

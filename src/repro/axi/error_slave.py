@@ -29,13 +29,24 @@ class ErrorSlave(Component):
         self.reads_rejected = 0
 
     def quiet(self) -> bool:
-        """No response owed and no request waiting on the link."""
+        """Activity contract: no response owed and no request waiting on
+        the link.  Occupancy (not visibility) gates the check, so a beat
+        still in its register-stage latency keeps the slave polling —
+        never a lost wake.  All revivals come through the watched
+        request FIFOs (``watch_requests`` above) or an external
+        ``wake``; the slave holds no time-driven state, so
+        :meth:`next_event` is always None."""
         link = self.link
         return (not self._pending_b and not self._open_writes
                 and not self._pending_r
                 and not link.aw._q and not link.w._q and not link.ar._q)
 
-    def step(self, now: int) -> None:
+    def next_event(self, now: int) -> int | None:
+        """No self-scheduled wakes: every state change is caused by a
+        request arriving on a watched FIFO (which wakes us)."""
+        return None
+
+    def step(self, now: int) -> bool:
         link = self.link
         aw = link.aw.peek(now)
         if aw is not None:
@@ -61,3 +72,7 @@ class ErrorSlave(Component):
             if last:
                 self._pending_r.popleft()
                 self.reads_rejected += 1
+        # Report post-step quietness inline (see Component.step).
+        return (not self._pending_b and not self._open_writes
+                and not self._pending_r
+                and not link.aw._q and not link.w._q and not link.ar._q)

@@ -128,8 +128,14 @@ class AxiCrossbar(Component):
         self._wr_dest: list[dict[int, list]] = [dict() for _ in range(n_in)]
         self._rd_dest: list[dict[int, list]] = [dict() for _ in range(n_in)]
         self._w_route: list[deque] = [deque() for _ in range(n_in)]  # [out, oid]
-        self._err_b: list[deque] = [deque() for _ in range(n_in)]  # oid
-        self._err_r: list[deque] = [deque() for _ in range(n_in)]  # [oid, beats_left]
+        self._err_b: list[deque] = [deque() for _ in range(n_in)]  # (oid, resp)
+        self._err_r: list[deque] = [deque() for _ in range(n_in)]  # [oid, beats_left, resp]
+
+        #: Egresses currently killed by fault injection (DESIGN.md §10):
+        #: requests decoding to one are terminated with SLVERR through
+        #: the error path.  None (the default) is the fault-free fast
+        #: path; only the fault controller writes this.
+        self._fault_blocked: frozenset[int] | None = None
 
         # Hot-path caches, rebuilt lazily after wiring changes.
         self._in_ports: list[int] | None = None
@@ -177,6 +183,14 @@ class AxiCrossbar(Component):
         link.r.track_occupancy(self._occ_r)
         self._out_ports = None
         return link
+
+    def set_fault_blocked(self, ports: frozenset[int] | None) -> None:
+        """Install the set of fault-killed egress ports (None = healthy).
+
+        In-flight transactions towards a newly blocked egress complete
+        normally; only *new* AW/AR admissions are SLVERR-terminated.
+        """
+        self._fault_blocked = ports if ports else None
 
     def _refresh_port_lists(self) -> None:
         self._in_ports = [i for i, l in enumerate(self.in_links) if l is not None]
@@ -438,22 +452,24 @@ class AxiCrossbar(Component):
             in_link = self.in_links[i]
             if (not (b_used >> i) & 1 and self._err_b[i]
                     and in_link.b.can_push()):
-                oid = self._err_b[i].popleft()
+                oid, resp = self._err_b[i].popleft()
                 self._err_pending -= 1
                 _retire_dest(self._wr_dest[i], oid, ERROR_PORT)
-                in_link.b.push(BBeat(oid, Resp.DECERR), now)
-                self.counters.bump("decerr_b")
+                in_link.b.push(BBeat(oid, resp), now)
+                self.counters.bump("decerr_b" if resp is Resp.DECERR
+                                   else "slverr_b")
             if (not (r_used >> i) & 1 and self._err_r[i]
                     and in_link.r.can_push()):
                 entry = self._err_r[i][0]
                 entry[1] -= 1
                 last = entry[1] == 0
-                in_link.r.push(RBeat(entry[0], last, 0, Resp.DECERR), now)
+                in_link.r.push(RBeat(entry[0], last, 0, entry[2]), now)
                 if last:
                     self._err_r[i].popleft()
                     self._err_pending -= 1
                     _retire_dest(self._rd_dest[i], entry[0], ERROR_PORT)
-                    self.counters.bump("decerr_r")
+                    self.counters.bump("decerr_r" if entry[2] is Resp.DECERR
+                                       else "slverr_r")
 
     # -- write data (error path) ----------------------------------------
     def _sink_error_w(self, now: int, w_used: int) -> None:
@@ -473,7 +489,7 @@ class AxiCrossbar(Component):
             if beat.last:
                 entry = route_q.popleft()
                 self._err_w -= 1
-                self._err_b[i].append(entry[1])
+                self._err_b[i].append((entry[1], entry[2]))
                 self._err_pending += 1
 
     # -- address channels ------------------------------------------------
@@ -508,6 +524,11 @@ class AxiCrossbar(Component):
                 continue
             beat = q[0][1]
             j = self._decode(beat, i)
+            resp = Resp.DECERR
+            blocked = self._fault_blocked
+            if blocked is not None and j in blocked:
+                j = ERROR_PORT  # dead egress: fail fast with SLVERR
+                resp = Resp.SLVERR
             if j == ERROR_PORT:
                 dest = self._wr_dest[i].get(beat.id)
                 if dest is not None and dest[0] != ERROR_PORT:
@@ -516,9 +537,10 @@ class AxiCrossbar(Component):
                     continue
                 in_link.aw.pop(now)
                 _bump_dest(self._wr_dest[i], beat.id, ERROR_PORT)
-                self._w_route[i].append([ERROR_PORT, beat.id])
+                self._w_route[i].append([ERROR_PORT, beat.id, resp])
                 self._err_w += 1
-                self.counters.bump("aw_unmapped")
+                self.counters.bump("aw_unmapped" if resp is Resp.DECERR
+                                   else "aw_fault_blocked")
                 continue
             dest = self._wr_dest[i].get(beat.id)
             if dest is not None and dest[0] != j:
@@ -563,6 +585,11 @@ class AxiCrossbar(Component):
                 continue
             beat = q[0][1]
             j = self._decode(beat, i)
+            resp = Resp.DECERR
+            blocked = self._fault_blocked
+            if blocked is not None and j in blocked:
+                j = ERROR_PORT  # dead egress: fail fast with SLVERR
+                resp = Resp.SLVERR
             if j == ERROR_PORT:
                 dest = self._rd_dest[i].get(beat.id)
                 if dest is not None and dest[0] != ERROR_PORT:
@@ -571,9 +598,10 @@ class AxiCrossbar(Component):
                     continue
                 in_link.ar.pop(now)
                 _bump_dest(self._rd_dest[i], beat.id, ERROR_PORT)
-                self._err_r[i].append([beat.id, beat.beats])
+                self._err_r[i].append([beat.id, beat.beats, resp])
                 self._err_pending += 1
-                self.counters.bump("ar_unmapped")
+                self.counters.bump("ar_unmapped" if resp is Resp.DECERR
+                                   else "ar_fault_blocked")
                 continue
             dest = self._rd_dest[i].get(beat.id)
             if dest is not None and dest[0] != j:

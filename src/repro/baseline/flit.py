@@ -17,9 +17,17 @@ class FlitKind(IntEnum):
 
 
 class Packet:
-    """One serialised network packet (the baseline's unit of transfer)."""
+    """One serialised network packet (the baseline's unit of transfer).
 
-    __slots__ = ("src", "dst", "length", "created", "pid")
+    The trailing three slots are fault-injection state (DESIGN.md §10):
+    ``corrupt`` marks in-flight payload corruption (detected at
+    ejection), ``attempt`` counts retransmissions of this payload, and
+    ``origin`` is the cycle the *first* attempt was created (recovery
+    latency is measured from it).
+    """
+
+    __slots__ = ("src", "dst", "length", "created", "pid",
+                 "corrupt", "attempt", "origin")
 
     def __init__(self, src: int, dst: int, length: int, created: int,
                  pid: int):
@@ -30,6 +38,9 @@ class Packet:
         self.length = length
         self.created = created
         self.pid = pid
+        self.corrupt = False
+        self.attempt = 0
+        self.origin = created
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"Packet(pid={self.pid}, {self.src}->{self.dst}, "

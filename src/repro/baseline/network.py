@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.baseline.flit import Flit, Packet, make_flits
 from repro.baseline.router import N_PORTS, P_E, P_LOCAL, P_N, P_S, P_W, Router
+from repro.faults.runtime import FaultStats, FaultTimeline, fault_rngs
 from repro.noc.topology import OPPOSITE, Mesh2D
 from repro.sim.kernel import Component, Simulator
 from repro.sim.rng import spawn_rngs
@@ -56,7 +57,8 @@ class PacketMesh(Component):
     """A runnable baseline mesh with built-in uniform random injection."""
 
     def __init__(self, cfg: PacketMeshConfig, injection_rate: float = 0.0,
-                 seed: int | None = None, always_step: bool = False):
+                 seed: int | None = None, always_step: bool = False,
+                 faults=None, fault_seed: int | None = None):
         if injection_rate < 0:
             raise ValueError("injection rate must be >= 0")
         self.cfg = cfg
@@ -64,8 +66,12 @@ class PacketMesh(Component):
         self.sim = Simulator(cfg.freq_hz, activity=not always_step)
         self.routers = [Router(n, cfg.n_vcs, cfg.buf_depth)
                         for n in range(cfg.n_nodes)]
+        self._link_ports: list[tuple[int, int]] = []  # (src, out_port)
+        link_index: dict[tuple[int, int], int] = {}
         for src, out_port, dst, in_port in self.topology.directed_links():
             self.routers[src].connect(out_port, self.routers[dst], in_port)
+            link_index[(src, dst)] = len(self._link_ports)
+            self._link_ports.append((src, out_port))
         self.injection_rate = injection_rate
         self._rngs = spawn_rngs(seed, cfg.n_nodes)
         self._next_arrival = [
@@ -91,8 +97,33 @@ class PacketMesh(Component):
         #: Flits currently buffered inside routers (activity contract).
         self._flits_in_network = 0
         self._last_stepped = -1
+        # -- fault injection (DESIGN.md §10) ---------------------------
+        self._faults = faults if faults is not None and faults.active() else None
+        self._fault_stats: FaultStats | None = None
+        self._timeline: FaultTimeline | None = None
+        self._fault_entries: dict[tuple[int, int], dict[int, float]] = {}
+        self._dead_ports: dict[int, set[int]] = {}
+        self._deg_ports: dict[int, dict[int, float]] = {}
+        self._corrupt_rate = 0.0
+        self._corrupt_rng = None
+        self._nics: dict[int, object] = {}
+        self.packets_dropped = 0
+        if self._faults is not None:
+            spec = self._faults
+            self._fault_stats = FaultStats()
+            rngs = fault_rngs(seed if fault_seed is None else fault_seed, 2)
+            self._timeline = FaultTimeline(spec, len(self._link_ports),
+                                           rng=rngs[0],
+                                           link_index=link_index)
+            if spec.corrupt_rate > 0.0:
+                self._corrupt_rate = spec.corrupt_rate
+                self._corrupt_rng = rngs[1]
         self.sim.add(self)
         self._source_cap = 64  # packets queued per node before pausing
+        self._route_fn = (self._route_fault_aware
+                          if self._faults is not None
+                          and self._faults.recovery == "reroute"
+                          else self._route)
 
     # ------------------------------------------------------------------
     def _route(self, node: int, dst: int) -> int:
@@ -105,27 +136,175 @@ class PacketMesh(Component):
             return P_S if dy > cy else P_N
         return P_LOCAL
 
+    def _route_fault_aware(self, node: int, dst: int) -> int:
+        """XY routing that sidesteps dead links: when the XY-preferred
+        egress at ``node`` is dead, take the other *productive*
+        dimension if it is alive (minimal adaptive routing; flits are
+        never misrouted away from the destination).  With no live
+        productive egress the preferred port is returned and the packet
+        drops there.
+
+        ``reroute_decisions`` counts deviations approximately: the
+        router may evaluate the route more than once per granted head
+        (once per output-port scan), so the stat counts route-function
+        invocations that dodged a dead link, not rerouted packets.
+        Note: adaptivity breaks XY's acyclic channel-dependency proof;
+        under heavy load around a dead region the baseline can deadlock
+        like real minimal-adaptive wormhole NoCs without extra escape
+        VCs (DESIGN.md §10).
+        """
+        preferred = self._route(node, dst)
+        if preferred == P_LOCAL:
+            return P_LOCAL
+        dead = self.routers[node].fault_dead
+        if dead is None or preferred not in dead:
+            return preferred
+        cx, cy = self.topology.coords(node)
+        dx, dy = self.topology.coords(dst)
+        if preferred in (P_E, P_W):
+            alt = (P_S if dy > cy else P_N) if cy != dy else None
+        else:
+            alt = (P_E if dx > cx else P_W) if cx != dx else None
+        if alt is not None and alt not in dead:
+            self._fault_stats.reroute_decisions += 1
+            return alt
+        return preferred
+
     def inject(self, node: int, vc: int, flit: Flit, now: int) -> None:
         """Deliver a flit into ``node``'s local input port (NIC-driven
         mode).  Keeps the in-network flit count exact and wakes the mesh
         if the activity kernel had put it to sleep."""
+        if flit.is_head and self._corrupt_rate:
+            self._maybe_corrupt(flit.packet)
         self.routers[node].accept(P_LOCAL, vc, flit, now)
         self._flits_in_network += 1
         self.wake(now + 1)  # flit is visible to allocation next cycle
 
+    def _maybe_corrupt(self, packet: Packet) -> None:
+        """Per-packet corruption draw (burst-granularity, like the AXI
+        side): a packet of L flits crossing H hops has L*H chances at
+        ``corrupt_rate`` each.  Draws happen in packet-creation order,
+        identical in both kernel modes."""
+        hops = self.topology.hop_distance(packet.src, packet.dst) + 1
+        p = 1.0 - (1.0 - self._corrupt_rate) ** (packet.length * hops)
+        if self._corrupt_rng.random() < p:
+            packet.corrupt = True
+            self._fault_stats.corrupted += 1
+
     def _eject(self, flit: Flit, now: int) -> None:
         self._flits_in_network -= 1
         self.flits_received += 1
-        if now >= self.warmup:
+        packet = flit.packet
+        if now >= self.warmup and not packet.corrupt:
             self.flits_received_measured += 1
         if flit.is_tail:
             self.packets_received += 1
-            self.latency.add(now - flit.packet.created)
-            nbytes = self._payloads.pop(flit.packet.pid, 0)
+            self.latency.add(now - packet.created)
+            nbytes = self._payloads.pop(packet.pid, 0)
+            if packet.corrupt:
+                # Detected at the receiving endpoint: payload is never
+                # credited; retransmit end-to-end if the policy allows.
+                self._recover_or_drop(packet, nbytes)
+                return
+            if packet.attempt:
+                stats = self._fault_stats
+                stats.recovered += 1
+                stats.recovery_latency.add(now - packet.origin)
             if nbytes:
                 self.bytes_received += nbytes
                 if now >= self.warmup:
                     self.bytes_received_measured += nbytes
+
+    def _drop(self, flit: Flit, now: int) -> None:
+        """Router drop callback (dead-link losses): keep the in-network
+        count exact; on the head, account the packet and retransmit."""
+        self._flits_in_network -= 1
+        if flit.is_head:
+            packet = flit.packet
+            self.packets_dropped += 1
+            nbytes = self._payloads.pop(packet.pid, 0)
+            self._recover_or_drop(packet, nbytes)
+
+    def _recover_or_drop(self, packet: Packet, nbytes: int) -> None:
+        """A packet was lost or corrupted: resubmit through the source
+        NIC (bounded attempts) or count it dropped."""
+        stats = self._fault_stats
+        spec = self._faults
+        nic = self._nics.get(packet.src)
+        if (spec is not None and spec.recovery == "retransmit"
+                and nic is not None and packet.attempt < spec.max_retries):
+            stats.retransmissions += 1
+            nic.resubmit(packet.dst, nbytes, packet.attempt + 1,
+                         packet.origin)
+        else:
+            stats.dropped += 1
+
+    # ------------------------------------------------------------------
+    # Fault-event bookkeeping (mirror of faults.controller for the AXI
+    # side, folded into the mesh because it already is one component).
+    # ------------------------------------------------------------------
+    def _apply_fault_events(self, events) -> None:
+        stats = self._fault_stats
+        entries = self._fault_entries
+        touched: set[tuple[int, int]] = set()
+        for kind, *rest in events:
+            if kind == "link":
+                idx, fid, factor = rest
+                key = self._link_ports[idx]
+                entries.setdefault(key, {})[fid] = factor
+                stats.link_faults += 1
+            elif kind == "link_clear":
+                idx, fid = rest
+                key = self._link_ports[idx]
+                entries.get(key, {}).pop(fid, None)
+            elif kind == "port":
+                node, port, fid = rest
+                key = (node, port)
+                entries.setdefault(key, {})[fid] = 0.0
+                stats.port_faults += 1
+            else:  # port_clear
+                node, port, fid = rest
+                key = (node, port)
+                entries.get(key, {}).pop(fid, None)
+            touched.add(key)
+        for key in sorted(touched):
+            self._refresh_fault_port(key)
+
+    def _refresh_fault_port(self, key: tuple[int, int]) -> None:
+        """Recompute one (node, out_port)'s effective state from the
+        overlapping fault entries: dead wins, else the narrowest width."""
+        node, port = key
+        factors = self._fault_entries.get(key) or {}
+        router = self.routers[node]
+        dead = self._dead_ports.setdefault(node, set())
+        deg = self._deg_ports.setdefault(node, {})
+        if 0.0 in factors.values():
+            dead.add(port)
+            deg.pop(port, None)
+        else:
+            dead.discard(port)
+            live = [f for f in factors.values() if f > 0.0]
+            if live:
+                deg[port] = min(live)
+            else:
+                deg.pop(port, None)
+        router.fault_dead = frozenset(dead) if dead else None
+        router.fault_degraded = dict(deg) if deg else None
+
+    def fault_report(self) -> dict:
+        """The ``faults`` section of a Result (empty when inactive)."""
+        stats = self._fault_stats
+        if stats is None:
+            return {}
+        report = stats.as_dict()
+        report["packets_dropped"] = self.packets_dropped
+        report["flits_dropped"] = sum(r.flits_dropped for r in self.routers)
+        return report
+
+    def register_nic(self, nic) -> None:
+        """Attach a :class:`~repro.baseline.nic.PacketNic` as the
+        retransmission endpoint for its node."""
+        self._nics[nic.node] = nic
 
     def register_payload(self, pid: int, nbytes: int) -> None:
         """Associate useful payload bytes with a packet (NIC-driven mode)."""
@@ -157,13 +336,21 @@ class PacketMesh(Component):
         return True
 
     def next_event(self, now: int) -> int | None:
-        if self.injection_rate <= 0:
-            return None
-        first = min(self._next_arrival)
-        if first == float("inf"):
-            return None
-        wake = int(math.ceil(first))
-        return wake if wake > now else now + 1
+        wake = None
+        if self.injection_rate > 0:
+            first = min(self._next_arrival)
+            if first != float("inf"):
+                wake = int(math.ceil(first))
+                if wake <= now:
+                    wake = now + 1
+        tl = self._timeline
+        if tl is not None:
+            due = tl.peek()
+            if due is not None:
+                due = max(due, now + 1)
+                if wake is None or due < wake:
+                    wake = due
+        return wake
 
     def step(self, now: int) -> None:
         cfg = self.cfg
@@ -175,6 +362,13 @@ class PacketMesh(Component):
             for router in self.routers:
                 router.advance_idle(gap)
         self._last_stepped = now
+        # 0. Apply due fault events (next_event folds the timeline in, so
+        # the mesh is stepped at every event cycle in both kernel modes).
+        tl = self._timeline
+        if tl is not None:
+            nxt = tl.peek()
+            if nxt is not None and nxt <= now:
+                self._apply_fault_events(tl.pop_due(now))
         # 1. Generate new packets (Poisson per node, uniform destinations).
         if self.injection_rate > 0:
             for node in range(n_nodes):
@@ -186,6 +380,8 @@ class PacketMesh(Component):
                         dst += 1
                     packet = Packet(node, dst, cfg.packet_flits, now, self._pid)
                     self._pid += 1
+                    if self._corrupt_rate:
+                        self._maybe_corrupt(packet)
                     self._source_q[node].append(packet)
                     self.flits_offered += cfg.packet_flits
                     self._next_arrival[node] += rng.exponential(
@@ -202,10 +398,11 @@ class PacketMesh(Component):
                     router.accept(P_LOCAL, 0, inject.popleft(), now)
                     self._flits_in_network += 1
         # 3. Step every router.
-        route = self._route
+        route = self._route_fn
         eject = self._eject
+        drop = self._drop if self._faults is not None else None
         for router in self.routers:
-            router.step(now, route, eject)
+            router.step(now, route, eject, drop)
 
     # ------------------------------------------------------------------
     # Noxim-convention metrics
@@ -226,8 +423,8 @@ class PacketMesh(Component):
         """16-node aggregate (for transparency; not what Fig. 4 plots)."""
         return self.throughput_gib_s_node(now) * self.cfg.n_nodes
 
-    def run(self, cycles: int) -> int:
-        return self.sim.run(cycles)
+    def run(self, cycles: int, until=None) -> int:
+        return self.sim.run(cycles, until=until)
 
     def in_flight(self) -> int:
         return (sum(r.occupancy() for r in self.routers)

@@ -51,16 +51,26 @@ class PacketNic(Component):
         self.name = f"nic{node}"
         cfg = mesh.cfg
         self.payload_per_packet = (cfg.packet_flits - 1) * cfg.flit_bytes
-        self._pending: deque[tuple[int, int]] = deque()  # (dst, nbytes)
+        # (dst, nbytes, attempt, origin); attempt/origin are fault-recovery
+        # state — 0/None on the first transmission (DESIGN.md §10).
+        self._pending: deque[tuple] = deque()
         self._flits: deque = deque()
         self._idle_until = 0
         self._pid = node << 32
         self.bytes_sent = 0
+        mesh.register_nic(self)
 
     def submit(self, transfer: Transfer, dst_node: int) -> None:
         """Queue a transfer for packetisation towards ``dst_node``."""
-        self._pending.append((dst_node, transfer.nbytes))
+        self._pending.append((dst_node, transfer.nbytes, 0, None))
         self.wake()  # external input: revive a NIC asleep in the kernel
+
+    def resubmit(self, dst: int, nbytes: int, attempt: int,
+                 origin: int) -> None:
+        """End-to-end retransmission of one lost/corrupted packet's
+        payload (called by the mesh's fault machinery)."""
+        self._pending.append((dst, nbytes, attempt, origin))
+        self.wake()
 
     @property
     def queue_depth(self) -> int:
@@ -75,11 +85,14 @@ class PacketNic(Component):
     def step(self, now: int) -> None:
         # Packetise: one packet per translation_overhead cycles.
         if self._pending and not self._flits and now >= self._idle_until:
-            dst, nbytes = self._pending[0]
+            dst, nbytes, attempt, origin = self._pending[0]
             chunk = min(nbytes, self.payload_per_packet)
             packet = Packet(self.node, dst, self.mesh.cfg.packet_flits,
                             now, self._pid)
             self._pid += 1
+            if attempt:
+                packet.attempt = attempt
+                packet.origin = origin
             # Packet payload accounting rides on the packet object: the
             # ejection side credits chunk bytes when the tail arrives.
             self.mesh.register_payload(packet.pid, chunk)
@@ -87,7 +100,7 @@ class PacketNic(Component):
             self.bytes_sent += chunk
             remaining = nbytes - chunk
             if remaining > 0:
-                self._pending[0] = (dst, remaining)
+                self._pending[0] = (dst, remaining, attempt, origin)
             else:
                 self._pending.popleft()
             self._idle_until = now + self.translation_overhead

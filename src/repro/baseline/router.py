@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.baseline.flit import Flit
+from repro.faults.runtime import degraded_pass
 
 #: Port indices (N/E/S/W match the mesh convention; LOCAL injects/ejects).
 P_N, P_E, P_S, P_W, P_LOCAL = 0, 1, 2, 3, 4
@@ -30,15 +31,18 @@ N_PORTS = 5
 class _VcState:
     """Per-input-VC bookkeeping: the in-progress packet's switch state."""
 
-    __slots__ = ("out_port", "out_vc")
+    __slots__ = ("out_port", "out_vc", "dropping")
 
     def __init__(self) -> None:
         self.out_port: int | None = None
         self.out_vc: int | None = None
+        #: Head was dropped at a dead egress; drain the body flits too.
+        self.dropping = False
 
     def clear(self) -> None:
         self.out_port = None
         self.out_vc = None
+        self.dropping = False
 
 
 class Router:
@@ -64,6 +68,15 @@ class Router:
             [None] * n_vcs for _ in range(N_PORTS)]
         self._sa_ptr = [0] * N_PORTS
         self.flits_routed = 0
+        #: Fault injection (DESIGN.md §10): dead egress ports (flits
+        #: routed into one are dropped) and degraded egress ports
+        #: (port -> width factor; flits traverse only on pass cycles).
+        #: Written by the mesh's fault machinery; None = fault-free fast
+        #: path.
+        self.fault_dead: frozenset[int] | None = None
+        self.fault_degraded: dict[int, float] | None = None
+        self._dropping = 0  # VCs currently draining a dropped packet
+        self.flits_dropped = 0
 
     # ------------------------------------------------------------------
     def connect(self, out_port: int, neighbor: "Router", in_port: int) -> None:
@@ -81,14 +94,18 @@ class Router:
         self.buffers[port][vc].append((now, flit))
 
     # ------------------------------------------------------------------
-    def step(self, now: int, route_fn, eject_fn) -> None:
+    def step(self, now: int, route_fn, eject_fn, drop_fn=None) -> None:
         """One cycle of allocation and switch traversal.
 
         ``route_fn(node, dst) -> out_port`` supplies the routing decision;
-        ``eject_fn(flit, now)`` consumes flits that reached the local port.
+        ``eject_fn(flit, now)`` consumes flits that reached the local port;
+        ``drop_fn(flit, now)`` (optional) observes flits dropped at dead
+        egress ports (fault injection).
         """
         n_vcs = self.n_vcs
         total = N_PORTS * n_vcs
+        if self._dropping:
+            self._drain_dropped(now, drop_fn)
         used_inputs: set[int] = set()
         for out_port in range(N_PORTS):
             start = self._sa_ptr[out_port]
@@ -104,6 +121,8 @@ class Router:
                 if arrived >= now:
                     continue  # only one hop per cycle
                 state = self.vc_state[in_port][in_vc]
+                if state.dropping:
+                    continue  # packet lost at a dead egress; draining
                 if state.out_port is None:
                     if not flit.is_head:
                         raise AssertionError(
@@ -117,6 +136,21 @@ class Router:
                         state.out_port = P_LOCAL
                         state.out_vc = 0
                     else:
+                        dead = self.fault_dead
+                        if dead is not None and out_port in dead:
+                            # Dead egress and no alternate route: the
+                            # packet is lost here.  Body flits behind
+                            # the head drain via the dropping flag.
+                            buf.popleft()
+                            self.flits_dropped += 1
+                            if drop_fn is not None:
+                                drop_fn(flit, now)
+                            used_inputs.add(in_port)
+                            if not flit.is_tail:
+                                state.dropping = True
+                                self._dropping += 1
+                            self._sa_ptr[out_port] = (idx + 1) % total
+                            break
                         out_vc = self._find_free_vc(out_port)
                         if out_vc is None:
                             continue
@@ -129,6 +163,12 @@ class Router:
                     buf.popleft()
                     eject_fn(flit, now)
                 else:
+                    deg = self.fault_degraded
+                    if deg is not None:
+                        factor = deg.get(out_port)
+                        if (factor is not None
+                                and not degraded_pass(now, factor)):
+                            continue  # degraded link: not a pass cycle
                     out_vc = state.out_vc
                     neighbor = self.neighbors[out_port]
                     nb_port = self.neighbor_in_port[out_port]
@@ -146,6 +186,26 @@ class Router:
                 break
             else:
                 self._sa_ptr[out_port] = (start + 1) % total
+
+    def _drain_dropped(self, now: int, drop_fn) -> None:
+        """Consume (at most one per VC per cycle) the body flits of
+        packets whose head was dropped at a dead egress."""
+        for in_port in range(N_PORTS):
+            states = self.vc_state[in_port]
+            for in_vc in range(self.n_vcs):
+                state = states[in_vc]
+                if not state.dropping:
+                    continue
+                buf = self.buffers[in_port][in_vc]
+                if not buf or buf[0][0] >= now:
+                    continue
+                _, flit = buf.popleft()
+                self.flits_dropped += 1
+                if drop_fn is not None:
+                    drop_fn(flit, now)
+                if flit.is_tail:
+                    state.dropping = False
+                    self._dropping -= 1
 
     def advance_idle(self, cycles: int) -> None:
         """Advance allocation state across ``cycles`` idle (skipped) cycles.

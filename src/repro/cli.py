@@ -49,6 +49,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweepp.add_argument("--jobs", type=int, default=1,
                         help="worker processes (results are identical "
                              "for any job count)")
+    sweepp.add_argument("--quick", action="store_true",
+                        help="force fidelity='quick' on every point")
     sweepp.add_argument("--out", metavar="DIR", default=None,
                         help="write results.json + results.csv into DIR")
     infop = sub.add_parser(
@@ -111,10 +113,15 @@ def _run(args) -> int:
 
 
 def _sweep(args) -> int:
+    from dataclasses import replace
+
     from repro.eval.report import ExperimentResult
     from repro.scenarios import load_spec, run_sweep, save_artifacts
 
     points = load_spec(args.spec)
+    if args.quick:
+        points = [sc.with_(measure=replace(sc.measure, fidelity="quick"))
+                  for sc in points]
     print(f"{args.spec}: {len(points)} point(s), jobs={args.jobs}")
     start = time.time()
     results = run_sweep(points, jobs=args.jobs)
@@ -122,19 +129,38 @@ def _sweep(args) -> int:
     table = ExperimentResult("sweep", f"{len(points)} scenario point(s)")
     sec = table.section(
         "results", ["scenario", "GiB/s", "util_pct", "p50_lat", "cycles"])
-    for result in results:
+    for point, result in zip(points, results):
+        if result is None:
+            sec.add(point.label, "FAILED", "-", "-", "-")
+            continue
         sec.add(result.name, result.throughput_gib_s,
                 result.utilization_pct if result.utilization_pct is not None
                 else "-",
                 result.latency_p50 if result.latency_p50 is not None
                 else "-",
                 result.cycles)
+    if any(r is not None and r.faults for r in results):
+        fsec = table.section(
+            "faults", ["scenario", "injected", "detected", "retrans",
+                       "recovered", "dropped", "rec_p50_lat"])
+        for result in results:
+            if result is None or not result.faults:
+                continue
+            f = result.faults
+            fsec.add(result.name, f.get("injected", 0), f.get("detected", 0),
+                     f.get("retransmissions", 0), f.get("recovered", 0),
+                     f.get("dropped", 0),
+                     f.get("recovery_latency", {}).get("p50", 0.0))
     print(render_text(table))
     print(f"[sweep completed in {elapsed:.1f}s]")
+    n_failed = sum(1 for r in results if r is None)
+    if n_failed:
+        print(f"WARNING: {n_failed}/{len(points)} point(s) failed "
+              f"(see stderr)")
     if args.out:
         for path in save_artifacts(points, results, args.out):
             print(f"wrote {path}")
-    return 0
+    return 1 if n_failed else 0
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -113,6 +113,11 @@ class DmaEngine(Component):
         self.transfers_completed = 0
         self.bytes_read = 0
         self.errors = 0
+        #: Optional :class:`~repro.faults.runtime.RetransmitPolicy` —
+        #: when set, transfers that complete with an error response are
+        #: re-submitted end-to-end (bounded retries/timeout).  None is
+        #: the fault-free fast path.
+        self.fault_policy = None
 
     # ------------------------------------------------------------------
     def submit(self, transfer: Transfer) -> None:
@@ -220,11 +225,12 @@ class DmaEngine(Component):
                 occ = rf.occ
                 if occ is not None:
                     occ[0] -= 1
-            meter = self.read_meter  # inlined ThroughputMeter.add
-            meter.bytes_total += beat.nbytes
-            if now >= meter.warmup_cycles:
-                meter.bytes_measured += beat.nbytes
-            self.bytes_read += beat.nbytes
+            if not beat.resp:  # error beats carry no creditable payload
+                meter = self.read_meter  # inlined ThroughputMeter.add
+                meter.bytes_total += beat.nbytes
+                if now >= meter.warmup_cycles:
+                    meter.bytes_measured += beat.nbytes
+                self.bytes_read += beat.nbytes
             entry = self._rd_out.get(beat.id)
             if entry is None:
                 raise AssertionError(
@@ -244,6 +250,8 @@ class DmaEngine(Component):
                 return
             transfer = self._pending.popleft()
             transfer._start_cycle = now
+            if not transfer._retries:
+                transfer._first_start = now
             self._cur = transfer
             self._burst_iter = split_transfer(
                 transfer.addr, transfer.nbytes, self.beat_bytes,
@@ -299,8 +307,28 @@ class DmaEngine(Component):
         if resp != Resp.OKAY:
             self.errors += 1
             self.counters.bump("dma_resp_error")
+            transfer._failed = True
         transfer._bursts_left -= 1
         if transfer._split_done and transfer._bursts_left == 0:
+            policy = self.fault_policy
+            if policy is not None and transfer._failed:
+                if (transfer._retries < policy.max_retries
+                        and now - transfer._first_start <= policy.timeout):
+                    # End-to-end retransmission: re-queue the whole
+                    # transfer (simplest correct recovery unit — burst
+                    # splits may differ between attempts).
+                    transfer._retries += 1
+                    transfer._failed = False
+                    transfer._bursts_left = 0
+                    transfer._split_done = False
+                    policy.stats.retransmissions += 1
+                    self._pending.append(transfer)
+                    return
+                policy.stats.dropped += 1
+            elif policy is not None and transfer._retries:
+                policy.stats.recovered += 1
+                policy.stats.recovery_latency.add(
+                    now - transfer._first_start)
             self.transfers_completed += 1
             self.latency_stats.add(now - transfer._start_cycle)
             if transfer.on_complete is not None:

@@ -15,6 +15,7 @@ from collections import deque
 
 from repro.axi.beats import BBeat, RBeat
 from repro.axi.link import AxiLink
+from repro.axi.types import Resp
 from repro.sim.kernel import Component
 from repro.sim.stats import ThroughputMeter
 
@@ -22,12 +23,14 @@ from repro.sim.stats import ThroughputMeter
 class _REmitter:
     """Streams the R beats of one read burst (mirror of the DMA's W side)."""
 
-    __slots__ = ("rid", "issued", "beats", "first", "mid", "last", "_mid_beat")
+    __slots__ = ("rid", "issued", "beats", "first", "mid", "last", "resp",
+                 "_mid_beat")
 
     def __init__(self, rid: int, addr: int, beats: int, nbytes: int,
-                 beat_bytes: int):
+                 beat_bytes: int, resp: Resp = Resp.OKAY):
         offset = addr % beat_bytes
         self.rid = rid
+        self.resp = resp
         self.issued = 0
         self.beats = beats
         if beats == 1:
@@ -43,16 +46,17 @@ class _REmitter:
                 raise AssertionError(
                     f"R beat arithmetic broke: addr={addr:#x} beats={beats} "
                     f"nbytes={nbytes} last={self.last}")
-        self._mid_beat = RBeat(rid, False, self.mid)
+        self._mid_beat = RBeat(rid, False, self.mid, resp)
 
     def next_beat(self) -> RBeat:
         k = self.issued
         self.issued += 1
         if k == self.beats - 1:
             return RBeat(self.rid, True,
-                         self.last if self.beats > 1 else self.first)
+                         self.last if self.beats > 1 else self.first,
+                         self.resp)
         if k == 0:
-            return RBeat(self.rid, False, self.first)
+            return RBeat(self.rid, False, self.first, self.resp)
         return self._mid_beat
 
     def done(self) -> bool:
@@ -83,11 +87,16 @@ class MemorySlave(Component):
         self.bytes_written = 0
         self.bursts_written = 0
         self.bursts_read = 0
+        #: Optional :class:`~repro.faults.runtime.CorruptionModel` — when
+        #: set, accepted bursts may be marked corrupted-in-flight and
+        #: answered with SLVERR (payload never credited).  None is the
+        #: fault-free fast path.
+        self.fault_model = None
 
         self._last_now = -1
-        # [id, beats_left, bytes_left, total_bytes, total_beats]
+        # [id, beats_left, bytes_left, total_bytes, total_beats, corrupt]
         self._w_expect: deque[list] = deque()
-        self._b_queue: deque[tuple[int, int]] = deque()  # (ready_at, id)
+        self._b_queue: deque[tuple] = deque()  # (ready_at, id, resp)
         self._r_jobs: deque[tuple[int, _REmitter]] = deque()  # (ready_at, emitter)
 
     def idle(self) -> bool:
@@ -148,8 +157,10 @@ class MemorySlave(Component):
                 and len(self._w_expect) + len(self._b_queue)
                 < self.max_outstanding):
             aw = link.aw.pop(now)
+            fm = self.fault_model
+            corrupt = fm is not None and fm.corrupt(aw.src, aw.beats)
             self._w_expect.append(
-                [aw.id, aw.beats, aw.nbytes, aw.nbytes, aw.beats])
+                [aw.id, aw.beats, aw.nbytes, aw.nbytes, aw.beats, corrupt])
         # Accept one W beat per cycle, only for an already-accepted AW
         # (inlined pop: the write-stream hot loop).
         if self._w_expect:
@@ -165,18 +176,21 @@ class MemorySlave(Component):
                 head = self._w_expect[0]
                 head[1] -= 1
                 head[2] -= w.nbytes
-                meter = self.write_meter  # inlined ThroughputMeter.add
-                meter.bytes_total += w.nbytes
-                if now >= meter.warmup_cycles:
-                    meter.bytes_measured += w.nbytes
-                self.bytes_written += w.nbytes
+                if not head[5]:  # corrupted payload is never credited
+                    meter = self.write_meter  # inlined ThroughputMeter.add
+                    meter.bytes_total += w.nbytes
+                    if now >= meter.warmup_cycles:
+                        meter.bytes_measured += w.nbytes
+                    self.bytes_written += w.nbytes
                 if w.last:
                     if head[1] != 0 or head[2] != 0:
                         raise AssertionError(
                             f"{self.name}: burst accounting broke on id "
                             f"{head[0]}: {head[1]} beats / {head[2]} bytes left")
                     self._w_expect.popleft()
-                    self._b_queue.append((now + self.latency, head[0]))
+                    self._b_queue.append((
+                        now + self.latency, head[0],
+                        Resp.SLVERR if head[5] else Resp.OKAY))
                     self.bursts_written += 1
                     if self.scoreboard is not None:
                         self.scoreboard.record_write(
@@ -190,10 +204,13 @@ class MemorySlave(Component):
         if (q and q[0][0] <= now
                 and len(self._r_jobs) < self.max_outstanding):
             ar = link.ar.pop(now)
+            fm = self.fault_model
+            resp = (Resp.SLVERR if fm is not None
+                    and fm.corrupt(ar.src, ar.beats) else Resp.OKAY)
             self._r_jobs.append((
                 now + self.latency,
                 _REmitter(ar.id, ar.addr, ar.beats, ar.nbytes,
-                          self.beat_bytes)))
+                          self.beat_bytes, resp)))
 
     def _emit(self, now: int, link: AxiLink) -> None:
         # Emit one B per cycle.
@@ -201,8 +218,8 @@ class MemorySlave(Component):
         if b_queue and b_queue[0][0] <= now:
             b = link.b
             if len(b._q) < b.capacity:
-                _, bid = b_queue.popleft()
-                b.push(BBeat(bid), now)
+                _, bid, resp = b_queue.popleft()
+                b.push(BBeat(bid, resp), now)
         # Emit one R beat per cycle (jobs served strictly in order).
         # R streaming is the memory's hot loop, so the push is inlined
         # like the crossbar's (identical semantics to TimedFifo.push).

@@ -1,0 +1,132 @@
+"""Fault controller for the PATRONoC (AXI) backend.
+
+One :class:`FaultController` per network applies the run's
+:class:`~repro.faults.runtime.FaultTimeline` to the wired fabric:
+
+* **dead links / ports** (width factor 0) — the egress is added to the
+  owning crosspoint's fault-blocked set; new AW/AR requests that decode
+  to it are terminated with SLVERR at the ingress (fail-fast admission
+  control).  Transactions already granted into the dead egress complete
+  normally, and responses still flow back over it — a deliberate
+  simplification that keeps the AXI ordering machinery intact
+  (DESIGN.md §10).
+* **degraded links** (0 < factor < 1) — on the cycles the pure pass
+  function :func:`~repro.faults.runtime.degraded_pass` denies, the
+  controller rewrites the link's visible channel heads one cycle into
+  the future, so beats cross only on a ``factor`` fraction of cycles.
+
+The controller must be registered with the simulator *before* the
+crosspoints so a head stalled at cycle ``t`` is stalled before any
+consumer could pop it at ``t`` — in both kernel modes.  It honours the
+activity contract: with no degraded link active it sleeps until the
+timeline's next event; while one is active it steps every cycle (the
+stall decision changes per cycle).  It is ``drain_transparent``: pending
+*future* fault events never hold a drain open (beats actually stalled in
+a link keep their consumer awake, which does).
+"""
+
+from __future__ import annotations
+
+from repro.axi.link import AxiLink
+from repro.faults.runtime import FaultStats, FaultTimeline, degraded_pass
+from repro.sim.kernel import Component
+
+
+class FaultController(Component):
+    """Applies fault events to crosspoints and links (one per network)."""
+
+    drain_transparent = True
+
+    def __init__(self, name: str, timeline: FaultTimeline, stats: FaultStats,
+                 xps: list, link_ports: list[tuple[int, int]],
+                 links: list[AxiLink]):
+        self.name = name
+        self._timeline = timeline
+        self.stats = stats
+        self._xps = xps
+        #: (node, out_port) per mesh-link index (the timeline's currency).
+        self._link_ports = link_ports
+        self._links = links
+        self._link_by_key = {key: links[i]
+                             for i, key in enumerate(link_ports)}
+        #: (node, port) -> {fault_id: width_factor}; overlapping faults
+        #: on one egress compose as dead-if-any-dead, else min factor.
+        self._entries: dict[tuple[int, int], dict[int, float]] = {}
+        #: Effective degraded links: key -> (link, factor).
+        self._deg_map: dict[tuple[int, int], tuple[AxiLink, float]] = {}
+        self._degraded: list[tuple[AxiLink, float]] = []
+        self._blocked: dict[int, set[int]] = {}
+
+    # -- activity contract ---------------------------------------------
+    def quiet(self) -> bool:
+        return not self._degraded
+
+    def next_event(self, now: int) -> int | None:
+        return self._timeline.peek()
+
+    def step(self, now: int) -> bool:
+        tl = self._timeline
+        nxt = tl.peek()
+        if nxt is not None and nxt <= now:
+            self._apply(tl.pop_due(now))
+        degraded = self._degraded
+        if degraded:
+            for link, factor in degraded:
+                if not degraded_pass(now, factor):
+                    link.stall_heads(now)
+            return False  # stall decisions change every cycle
+        return True
+
+    # -- event application ---------------------------------------------
+    def _apply(self, events: list[tuple]) -> None:
+        stats = self.stats
+        entries = self._entries
+        touched = set()
+        for ev in events:
+            kind = ev[0]
+            if kind == "link":
+                _, idx, fid, factor = ev
+                key = self._link_ports[idx]
+                entries.setdefault(key, {})[fid] = factor
+                stats.link_faults += 1
+            elif kind == "link_clear":
+                _, idx, fid = ev
+                key = self._link_ports[idx]
+                sub = entries.get(key)
+                if sub is not None:
+                    sub.pop(fid, None)
+            elif kind == "port":
+                _, node, port, fid = ev
+                key = (node, port)
+                entries.setdefault(key, {})[fid] = 0.0
+                stats.port_faults += 1
+            else:  # port_clear
+                _, node, port, fid = ev
+                key = (node, port)
+                sub = entries.get(key)
+                if sub is not None:
+                    sub.pop(fid, None)
+            touched.add(key)
+        for key in sorted(touched):
+            self._refresh(key)
+
+    def _refresh(self, key: tuple[int, int]) -> None:
+        node, port = key
+        factors = list((self._entries.get(key) or {}).values())
+        dead = 0.0 in factors
+        blocked = self._blocked.setdefault(node, set())
+        if dead != (port in blocked):
+            if dead:
+                blocked.add(port)
+            else:
+                blocked.discard(port)
+            self._xps[node].set_fault_blocked(
+                frozenset(blocked) if blocked else None)
+        link = self._link_by_key.get(key)
+        if link is not None:
+            nonzero = [f for f in factors if f > 0.0]
+            if nonzero and not dead:
+                self._deg_map[key] = (link, min(nonzero))
+            else:
+                self._deg_map.pop(key, None)
+            self._degraded = list(self._deg_map.values())

@@ -1,0 +1,208 @@
+"""Runtime machinery behind :class:`~repro.faults.spec.FaultSpec`.
+
+Everything here is deterministic in (spec, seed): RNG streams are salted
+children of the scenario seed (so they never collide with the traffic
+streams spawned from the same seed), the Poisson fault process is
+expanded lazily in event order, and corruption draws happen in
+transaction-arrival order — which is identical between the always-step
+and activity-driven kernels.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.sim.rng import DEFAULT_SEED
+from repro.sim.stats import LatencyStats
+
+#: Salt mixed into the scenario seed for fault RNG streams.  Traffic
+#: sources use ``spawn_rngs(seed, n)`` — the *unsalted* SeedSequence —
+#: so without a salt the fault streams would alias the first n traffic
+#: streams and faults would perturb traffic even at rate 0.
+FAULT_SALT = 0xFA_017  # "FAULT"
+
+
+def fault_rngs(seed: int | None, n: int) -> list[np.random.Generator]:
+    """Spawn ``n`` independent fault generators from the scenario seed."""
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    root = DEFAULT_SEED if seed is None else seed
+    seq = np.random.SeedSequence([root, FAULT_SALT])
+    return [np.random.default_rng(child) for child in seq.spawn(n)]
+
+
+class FaultStats:
+    """Mutable fault/recovery bookkeeping shared by the injection points
+    and recovery policies of one network."""
+
+    __slots__ = ("link_faults", "port_faults", "corrupted",
+                 "retransmissions", "recovered", "dropped",
+                 "reroute_decisions", "recovery_latency")
+
+    def __init__(self) -> None:
+        self.link_faults = 0        # link fault events applied
+        self.port_faults = 0        # port fault events applied
+        self.corrupted = 0          # bursts/packets corrupted in flight
+        self.retransmissions = 0    # endpoint-initiated retries
+        self.recovered = 0          # transfers completed after >= 1 retry
+        self.dropped = 0            # transfers abandoned (budget/timeout)
+        self.reroute_decisions = 0  # fault-aware route deviations (approx:
+        #                             counts route-fn invocations that
+        #                             dodged a dead link, not packets)
+        self.recovery_latency = LatencyStats("recovery")
+
+    def injected(self) -> int:
+        return self.link_faults + self.port_faults + self.corrupted
+
+    def as_dict(self) -> dict:
+        return {
+            "injected": self.injected(),
+            "link_faults": self.link_faults,
+            "port_faults": self.port_faults,
+            "corrupted": self.corrupted,
+            "detected": self.corrupted,  # every corruption is detected
+            "retransmissions": self.retransmissions,
+            "recovered": self.recovered,
+            "dropped": self.dropped,
+            "reroute_decisions": self.reroute_decisions,
+            "recovery_latency": self.recovery_latency.summary(),
+        }
+
+
+class FaultTimeline:
+    """The merged, time-ordered stream of fault events for one run.
+
+    Explicit ``LinkFault``/``PortFault`` entries become heap events up
+    front; the Poisson process (``link_rate``) keeps exactly one pending
+    fault-start in the heap and draws the next one when it pops, so the
+    expansion is lazy, bounded, and independent of run length.
+
+    Events (popped in (cycle, seq) order, seq breaks ties by insertion):
+
+    * ``("link", link_idx, fault_id, width_factor)`` — link goes bad
+    * ``("link_clear", link_idx, fault_id)`` — that fault ends
+    * ``("port", node, port, fault_id)`` — egress port dies
+    * ``("port_clear", node, port, fault_id)`` — that fault ends
+    """
+
+    def __init__(self, spec, n_links: int,
+                 rng: np.random.Generator | None = None,
+                 link_index: dict[tuple[int, int], int] | None = None):
+        self._heap: list[tuple[int, int, tuple]] = []
+        self._seq = 0
+        self._rng = rng
+        self._rate = spec.link_rate
+        self._duration = spec.link_duration
+        self._n_links = n_links
+        self._next_fid = 0
+        for lf in spec.links:
+            idx = None
+            if link_index is not None:
+                idx = link_index.get((lf.src, lf.dst))
+                if idx is None:
+                    raise ValueError(
+                        f"link fault targets nonexistent directed link "
+                        f"{lf.src}->{lf.dst}")
+            fid = self._new_fid()
+            self._push(lf.start, ("link", idx, fid, lf.width_factor))
+            if lf.duration is not None:
+                self._push(lf.start + lf.duration, ("link_clear", idx, fid))
+        for pf in spec.ports:
+            fid = self._new_fid()
+            self._push(pf.start, ("port", pf.node, pf.port, fid))
+            if pf.duration is not None:
+                self._push(pf.start + pf.duration,
+                           ("port_clear", pf.node, pf.port, fid))
+        # Fault ids above this mark belong to the Poisson process; its
+        # clear events trigger the next draw (see pop_due).
+        self._n_explicit = self._next_fid
+        if self._rate > 0.0 and n_links > 0:
+            if rng is None:
+                raise ValueError("link_rate > 0 requires an RNG")
+            self._schedule_rate_fault(0)
+
+    def _new_fid(self) -> int:
+        self._next_fid += 1
+        return self._next_fid
+
+    def _push(self, cycle: int, event: tuple) -> None:
+        heapq.heappush(self._heap, (cycle, self._seq, event))
+        self._seq += 1
+
+    def _schedule_rate_fault(self, after: int) -> None:
+        """Draw the next Poisson fault start (> ``after``) and its victim."""
+        gap = 1 + int(self._rng.exponential(1.0 / self._rate))
+        idx = int(self._rng.integers(self._n_links))
+        fid = self._new_fid()
+        start = after + gap
+        self._push(start, ("link", idx, fid, 0.0))
+        self._push(start + self._duration, ("link_clear", idx, fid))
+
+    def peek(self) -> int | None:
+        """Cycle of the next event, or None if exhausted."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop_due(self, now: int) -> list[tuple]:
+        """Pop every event with cycle <= now, in order; refill the
+        Poisson stream as its fault-clear events pop."""
+        out = []
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            cycle, _, event = heapq.heappop(heap)
+            out.append(event)
+            # Each Poisson fault schedules its successor when its clear
+            # pops, keeping exactly one pending fault pair in the heap.
+            if (event[0] == "link_clear" and self._rate > 0.0
+                    and event[2] > self._n_explicit):
+                self._schedule_rate_fault(cycle)
+        return out
+
+
+class RetransmitPolicy:
+    """End-to-end retransmission policy applied at DMA/NIC endpoints."""
+
+    __slots__ = ("max_retries", "timeout", "stats")
+
+    def __init__(self, max_retries: int, timeout: int, stats: FaultStats):
+        self.max_retries = max_retries
+        self.timeout = timeout
+        self.stats = stats
+
+
+class CorruptionModel:
+    """Per-burst corruption draw at the receiving endpoint.
+
+    A burst of B beats crossing H hops has B*H chances to be hit; the
+    endpoint draws once per burst with the aggregate probability
+    ``1 - (1 - rate)**(B*H)``.  Draws happen in burst-arrival order,
+    which both kernel modes produce identically.
+    """
+
+    __slots__ = ("_rng", "_rate", "_hops_by_src", "stats")
+
+    def __init__(self, rng: np.random.Generator, rate: float,
+                 hops_by_src: dict[int, int], stats: FaultStats):
+        self._rng = rng
+        self._rate = rate
+        self._hops_by_src = hops_by_src
+        self.stats = stats
+
+    def corrupt(self, src: int, beats: int) -> bool:
+        hops = self._hops_by_src.get(src, 2)
+        p = 1.0 - (1.0 - self._rate) ** (beats * hops)
+        if self._rng.random() < p:
+            self.stats.corrupted += 1
+            return True
+        return False
+
+
+def degraded_pass(now: int, factor: float) -> bool:
+    """True on the cycles a ``factor``-width link may move a beat.
+
+    Pure in ``now`` (no RNG, no state), so both kernel modes agree even
+    when quiet-cycle fast-forward skips over non-pass cycles: a beat
+    arriving on any cycle sees the same accept/stall decision.
+    """
+    return int((now + 1) * factor) - int(now * factor) >= 1

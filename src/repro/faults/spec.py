@@ -1,0 +1,181 @@
+"""Declarative fault-injection specs (DESIGN.md §10).
+
+A :class:`FaultSpec` describes *what goes wrong* in a run: dead or
+width-degraded links (explicit, or drawn from a Poisson process),
+dead crosspoint/router egress ports, and payload corruption that
+surfaces as AXI SLVERR at the endpoints — plus the recovery policy the
+endpoints apply.  Like the scenario specs it composes with, a FaultSpec
+is frozen, picklable, and JSON-round-trippable, and every random choice
+it implies is derived deterministically from the run's seed: the same
+(spec, seed) pair produces the same fault history in every process and
+in both kernel modes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+#: Endpoint recovery policies.  "retransmit" (end-to-end retry at the
+#: DMA/NIC endpoints) applies to both backends; "reroute" (route around
+#: dead links) only to the packet baseline — PATRONoC's address-based
+#: routing is static by construction.
+RECOVERY_POLICIES = ("none", "retransmit", "reroute")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """One directed mesh link going bad.
+
+    ``width_factor = 0`` kills the link outright (new requests routed
+    into it are terminated with SLVERR; baseline packets are dropped or
+    rerouted).  ``0 < width_factor < 1`` degrades it: beats cross only
+    on a ``width_factor`` fraction of cycles, modelling a link running
+    on a subset of its wires.
+    """
+
+    src: int
+    dst: int
+    start: int = 0
+    duration: int | None = None  # None = permanent
+    width_factor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0 or self.src == self.dst:
+            raise ValueError(
+                f"link fault needs two distinct nodes, got "
+                f"{self.src}->{self.dst}")
+        if self.start < 0:
+            raise ValueError(f"fault start must be >= 0, got {self.start}")
+        if self.duration is not None and self.duration < 1:
+            raise ValueError(
+                f"fault duration must be >= 1 (or None), got {self.duration}")
+        if not 0.0 <= self.width_factor < 1.0:
+            raise ValueError(
+                f"width_factor must be in [0, 1) — 0 kills the link, "
+                f"fractions degrade it; got {self.width_factor}")
+
+
+@dataclass(frozen=True)
+class PortFault:
+    """One crosspoint/router egress port going dead."""
+
+    node: int
+    port: int
+    start: int = 0
+    duration: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0 or self.port < 0:
+            raise ValueError(
+                f"port fault needs node >= 0 and port >= 0, got "
+                f"node={self.node} port={self.port}")
+        if self.start < 0:
+            raise ValueError(f"fault start must be >= 0, got {self.start}")
+        if self.duration is not None and self.duration < 1:
+            raise ValueError(
+                f"fault duration must be >= 1 (or None), got {self.duration}")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Everything that goes wrong in one run, and how endpoints recover.
+
+    Parameters
+    ----------
+    links / ports:
+        Explicit fault events (see :class:`LinkFault` /
+        :class:`PortFault`).
+    link_rate:
+        Poisson rate (faults per cycle, mesh-wide) of *transient dead
+        link* events; each victim link is drawn uniformly and stays dead
+        for ``link_duration`` cycles.  0 disables the process.
+    corrupt_rate:
+        Per-beat, per-hop probability that a burst's payload is
+        corrupted in flight.  Corruption is detected at the receiving
+        endpoint and surfaces as an SLVERR response; corrupted payload
+        is never credited to throughput.
+    recovery:
+        One of :data:`RECOVERY_POLICIES`.
+    max_retries:
+        Retransmission budget per transfer/packet (``recovery ==
+        "retransmit"``).
+    retry_timeout:
+        Cycles after a transfer's first issue beyond which it is dropped
+        instead of retried.
+    """
+
+    links: tuple[LinkFault, ...] = ()
+    ports: tuple[PortFault, ...] = ()
+    link_rate: float = 0.0
+    link_duration: int = 500
+    corrupt_rate: float = 0.0
+    recovery: str = "none"
+    max_retries: int = 3
+    retry_timeout: int = 100_000
+
+    def __post_init__(self) -> None:
+        # Normalize list/dict inputs (JSON round-trips give lists of
+        # dicts) into the canonical tuple-of-frozen-dataclass form.
+        object.__setattr__(self, "links", tuple(
+            lf if isinstance(lf, LinkFault) else LinkFault(**lf)
+            for lf in self.links))
+        object.__setattr__(self, "ports", tuple(
+            pf if isinstance(pf, PortFault) else PortFault(**pf)
+            for pf in self.ports))
+        if not 0.0 <= self.link_rate < 1.0:
+            raise ValueError(
+                f"link_rate must be in [0, 1) faults/cycle, got "
+                f"{self.link_rate}")
+        if self.link_duration < 1:
+            raise ValueError(
+                f"link_duration must be >= 1, got {self.link_duration}")
+        if not 0.0 <= self.corrupt_rate <= 1.0:
+            raise ValueError(
+                f"corrupt_rate must be in [0, 1], got {self.corrupt_rate}")
+        if self.recovery not in RECOVERY_POLICIES:
+            raise ValueError(
+                f"recovery must be one of {RECOVERY_POLICIES}, got "
+                f"{self.recovery!r}")
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_timeout < 1:
+            raise ValueError(
+                f"retry_timeout must be >= 1, got {self.retry_timeout}")
+
+    def active(self) -> bool:
+        """True if this spec injects anything at all.  An inactive spec
+        is behaviourally identical to ``faults=None`` (no controller,
+        no models, bit-identical results)."""
+        return bool(self.links or self.ports
+                    or self.link_rate > 0.0 or self.corrupt_rate > 0.0)
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        unknown = set(data) - set(cls.__dataclass_fields__)
+        if unknown:
+            raise ValueError(
+                f"unknown fault key(s) {sorted(unknown)}; expected "
+                f"{sorted(cls.__dataclass_fields__)}")
+        return cls(**data)
+
+    @classmethod
+    def coerce(cls, value) -> "FaultSpec":
+        """Accept a spec or a dict (the JSON form)."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            return cls.from_dict(value)
+        raise TypeError(f"cannot coerce {value!r} to FaultSpec")
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultSpec":
+        return cls.from_dict(json.loads(text))

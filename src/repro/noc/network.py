@@ -16,6 +16,9 @@ from repro.axi.memory_map import MemoryMap, Region
 from repro.axi.xbar import AxiCrossbar
 from repro.endpoints.dma import DmaEngine
 from repro.endpoints.memory import MemorySlave
+from repro.faults.controller import FaultController
+from repro.faults.runtime import (CorruptionModel, FaultStats, FaultTimeline,
+                                  RetransmitPolicy, fault_rngs)
 from repro.noc.config import NocConfig
 from repro.noc.routing import ComputedRouter, TableRouter, generate_route_tables
 from repro.noc.topology import LOCAL_PORT_BASE, Mesh2D
@@ -98,11 +101,18 @@ class NocNetwork:
         Force the reference always-step kernel instead of the
         activity-driven one (DESIGN.md §2).  Results are identical; the
         golden-equivalence tests rely on this switch.
+    faults / fault_seed:
+        Optional :class:`~repro.faults.FaultSpec` and the seed its
+        deterministic fault events derive from (DESIGN.md §10).  An
+        inactive (or None) spec leaves the network bit-identical to a
+        fault-free build; ``fault_seed`` defaults to the shared
+        :data:`~repro.sim.rng.DEFAULT_SEED` root when None.
     """
 
     def __init__(self, cfg: NocConfig, tiles: list[TileSpec] | None = None,
                  topology: Mesh2D | None = None, routing: str = "computed",
-                 scoreboard=None, memory_map=None, always_step: bool = False):
+                 scoreboard=None, memory_map=None, always_step: bool = False,
+                 faults=None, fault_seed: int | None = None):
         if routing not in ("computed", "table"):
             raise ValueError(f"routing must be 'computed' or 'table', got {routing!r}")
         if memory_map is not None and routing != "computed":
@@ -177,6 +187,9 @@ class NocNetwork:
             self.xps.append(xp)
 
         # -- mesh links ------------------------------------------------------
+        self._mesh_links: list[AxiLink] = []
+        self._mesh_link_ports: list[tuple[int, int]] = []  # (src, out_port)
+        self._mesh_link_index: dict[tuple[int, int], int] = {}  # (src, dst)
         for src, out_port, dst, in_port in self.topology.directed_links():
             # capacity = latency + 1 keeps full throughput regardless of
             # component step order (see TimedFifo docs).
@@ -184,6 +197,9 @@ class NocNetwork:
                            capacity=cfg.hop_latency + 1)
             self.xps[src].connect_out(out_port, link)
             self.xps[dst].connect_in(in_port, link)
+            self._mesh_link_index[(src, dst)] = len(self._mesh_links)
+            self._mesh_link_ports.append((src, out_port))
+            self._mesh_links.append(link)
             self.links.append(link)
 
         # -- endpoints -------------------------------------------------------
@@ -223,7 +239,51 @@ class NocNetwork:
             self.dmas.append(built.dma)
             self.memories.append(built.memory)
 
+        # -- fault injection (DESIGN.md §10) -----------------------------------
+        self.faults = faults
+        self.fault_stats: FaultStats | None = None
+        self._fault_controller: FaultController | None = None
+        if faults is not None and faults.active():
+            if faults.recovery == "reroute":
+                raise ValueError(
+                    "recovery='reroute' applies only to the packet "
+                    "baseline; PATRONoC's address-based routing is "
+                    "static (use 'retransmit' or 'none')")
+            self.fault_stats = stats = FaultStats()
+            mem_tiles = [b for b in self.tiles if b.memory is not None]
+            rngs = fault_rngs(fault_seed, 1 + len(mem_tiles))
+            timeline = FaultTimeline(faults, len(self._mesh_links),
+                                     rng=rngs[0],
+                                     link_index=self._mesh_link_index)
+            if faults.corrupt_rate > 0.0:
+                # One independent stream per memory: corruption draws
+                # happen in that memory's burst-arrival order, which
+                # both kernel modes produce identically.
+                dma_tiles = [t for t in self.tiles if t.dma is not None]
+                for k, built in enumerate(mem_tiles):
+                    mnode = built.spec.node
+                    hops = {
+                        t.index:
+                        self.topology.hop_distance(t.spec.node, mnode) + 2
+                        for t in dma_tiles
+                    }
+                    built.memory.fault_model = CorruptionModel(
+                        rngs[1 + k], faults.corrupt_rate, hops, stats)
+            if faults.recovery == "retransmit":
+                policy = RetransmitPolicy(faults.max_retries,
+                                          faults.retry_timeout, stats)
+                for built in self.tiles:
+                    if built.dma is not None:
+                        built.dma.fault_policy = policy
+            self._fault_controller = FaultController(
+                "faults", timeline, stats, self.xps,
+                self._mesh_link_ports, self._mesh_links)
+
         # -- registration ------------------------------------------------------
+        # The fault controller steps first so a head stalled at cycle t
+        # is stalled before any consumer could pop it at t (both modes).
+        if self._fault_controller is not None:
+            self.sim.add(self._fault_controller)
         for xp in self.xps:
             self.sim.add(xp)
         for built in self.tiles:
@@ -299,6 +359,21 @@ class NocNetwork:
     def transfers_completed(self) -> int:
         return sum(b.dma.transfers_completed for b in self.tiles
                    if b.dma is not None)
+
+    def response_errors(self) -> int:
+        """Error responses (DECERR/SLVERR) observed by the DMA engines."""
+        return sum(b.dma.errors for b in self.tiles if b.dma is not None)
+
+    def fault_report(self) -> dict:
+        """Fault/recovery accounting for :class:`Result.faults`; empty
+        when no active fault spec was installed."""
+        if self.fault_stats is None:
+            return {}
+        report = self.fault_stats.as_dict()
+        report["response_errors"] = self.response_errors()
+        report["blocked_aw"] = self.counters["aw_fault_blocked"]
+        report["blocked_ar"] = self.counters["ar_fault_blocked"]
+        return report
 
     # ------------------------------------------------------------------
     # execution

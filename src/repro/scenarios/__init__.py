@@ -18,13 +18,14 @@ the simulator supports (DESIGN.md §9)::
                               configs=["slim", "wide"]), jobs=4)
 """
 
+from repro.faults.spec import FaultSpec, LinkFault, PortFault
 from repro.scenarios.result import (
     Result,
     load_results_json,
     save_results_csv,
     save_results_json,
 )
-from repro.scenarios.run import run_scenario
+from repro.scenarios.run import SimulationTimeout, run_scenario
 from repro.scenarios.spec import (
     DEFAULT_WARMUP,
     DEFAULT_WINDOW,
@@ -46,11 +47,15 @@ from repro.scenarios.sweep import (
 __all__ = [
     "DEFAULT_WARMUP",
     "DEFAULT_WINDOW",
+    "FaultSpec",
+    "LinkFault",
     "MeasureSpec",
+    "PortFault",
     "QUICK_WARMUP",
     "QUICK_WINDOW",
     "Result",
     "Scenario",
+    "SimulationTimeout",
     "Sweep",
     "TopologySpec",
     "TrafficSpec",

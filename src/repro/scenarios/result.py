@@ -15,11 +15,11 @@ import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-#: Flat CSV column order (counters are JSON-encoded into one cell).
+#: Flat CSV column order (counters/faults are JSON-encoded into one cell).
 CSV_COLUMNS = [
     "name", "backend", "label", "load", "seed", "cycles",
     "throughput_gib_s", "utilization_pct",
-    "latency_p50", "latency_p90", "latency_p99", "counters",
+    "latency_p50", "latency_p90", "latency_p99", "counters", "faults",
 ]
 
 
@@ -40,6 +40,10 @@ class Result:
     cycles: int = 0
     counters: dict = field(default_factory=dict)
     link_utilization: dict = field(default_factory=dict)
+    #: Fault-injection report (DESIGN.md §10): injected/detected/
+    #: recovered counts, retransmissions, drops, recovery latency.
+    #: Empty when the scenario had no active FaultSpec.
+    faults: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -52,43 +56,53 @@ class Result:
         row = []
         for col in CSV_COLUMNS:
             value = getattr(self, col)
-            if col == "counters":
+            if col in ("counters", "faults"):
                 value = json.dumps(value, sort_keys=True)
             row.append("" if value is None else value)
         return row
 
 
-def save_results_json(results: list[Result], path: str | Path,
+def save_results_json(results: list[Result | None], path: str | Path,
                       scenarios: list | None = None) -> Path:
-    """Dump results (optionally paired with their scenarios) as JSON."""
+    """Dump results (optionally paired with their scenarios) as JSON.
+
+    ``None`` entries (points a hardened sweep could not produce) are
+    serialized as JSON ``null`` so the artifact stays index-aligned with
+    its scenarios.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     if scenarios is not None:
-        payload = [{"scenario": sc.to_dict(), "result": r.to_dict()}
+        payload = [{"scenario": sc.to_dict(),
+                    "result": r.to_dict() if r is not None else None}
                    for sc, r in zip(scenarios, results)]
     else:
-        payload = [r.to_dict() for r in results]
+        payload = [r.to_dict() if r is not None else None for r in results]
     path.write_text(json.dumps(payload, indent=2))
     return path
 
 
-def save_results_csv(results: list[Result], path: str | Path) -> Path:
-    """Dump results as one flat CSV table."""
+def save_results_csv(results: list[Result | None], path: str | Path) -> Path:
+    """Dump results as one flat CSV table (failed points are skipped)."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w", newline="") as f:
         writer = csv.writer(f)
         writer.writerow(CSV_COLUMNS)
         for result in results:
-            writer.writerow(result.csv_row())
+            if result is not None:
+                writer.writerow(result.csv_row())
     return path
 
 
-def load_results_json(path: str | Path) -> list[Result]:
+def load_results_json(path: str | Path) -> list[Result | None]:
     """Read back a :func:`save_results_json` artifact."""
     payload = json.loads(Path(path).read_text())
     out = []
     for entry in payload:
+        if entry is None:
+            out.append(None)
+            continue
         data = entry["result"] if "result" in entry else entry
-        out.append(Result.from_dict(data))
+        out.append(Result.from_dict(data) if data is not None else None)
     return out

@@ -22,8 +22,44 @@ the split is simulation-identical to a single call.
 
 from __future__ import annotations
 
+import time
+from dataclasses import replace
+
 from repro.scenarios.result import Result
 from repro.scenarios.spec import MeasureSpec, Scenario
+
+
+class SimulationTimeout(RuntimeError):
+    """A scenario's simulation exceeded ``MeasureSpec.max_wall_s``.
+
+    Carries how far the run got (``cycles``) so sweep logs can tell a
+    hung point from a merely slow one.
+    """
+
+    def __init__(self, max_wall_s: float, cycles: int):
+        super().__init__(
+            f"simulation exceeded its {max_wall_s:g}s wall-clock budget "
+            f"at cycle {cycles}")
+        self.max_wall_s = max_wall_s
+        self.cycles = cycles
+
+
+def _watchdog(measure: MeasureSpec):
+    """An ``until``-predicate enforcing the wall-clock budget, or None
+    when the watchdog is off (the default — zero overhead).  Checks the
+    clock every 2048 cycles and *raises* rather than stopping early, so
+    a timed-out point is an error, not a silently truncated Result."""
+    if measure.max_wall_s is None:
+        return None
+    deadline = time.monotonic() + measure.max_wall_s
+    budget = measure.max_wall_s
+
+    def until(now: int) -> bool:
+        if not now & 2047 and time.monotonic() > deadline:
+            raise SimulationTimeout(budget, now)
+        return False
+
+    return until
 
 #: DNN steady-state windows, keyed (quick, slim).  Slim configurations
 #: need longer windows to cover a full layer loop; quick shrinks both.
@@ -63,7 +99,7 @@ def _run_uniform(sc: Scenario) -> Result:
 
     cfg = sc.topology.noc_config()
     tr = sc.traffic
-    net = NocNetwork(cfg)
+    net = NocNetwork(cfg, faults=sc.faults, fault_seed=sc.seed)
     uniform_random(net, load=tr.load, max_burst_bytes=tr.max_burst_bytes,
                    read_fraction=tr.read_fraction,
                    min_burst_bytes=tr.min_burst_bytes,
@@ -83,7 +119,8 @@ def _run_synthetic(sc: Scenario) -> Result:
     cfg = sc.topology.noc_config()
     tr = sc.traffic
     pattern = PATTERNS[tr.pattern]
-    net, _slaves = build_synthetic_network(cfg, pattern)
+    net, _slaves = build_synthetic_network(cfg, pattern, faults=sc.faults,
+                                           fault_seed=sc.seed)
     synthetic_traffic(net, pattern, load=tr.load,
                       max_burst_bytes=tr.max_burst_bytes,
                       read_fraction=tr.read_fraction,
@@ -123,8 +160,10 @@ def _run_dnn(sc: Scenario) -> Result:
             heat = LinkHeatmap(net)
             heat.open_window()
         limit = _TRAIN_LIMIT[quick]
-        net.run(limit, until=lambda now: now % 2048 == 0
-                and all(s.done for s in scripts) and net.idle())
+        dog = _watchdog(sc.measure)
+        net.run(limit, until=lambda now: (dog is not None and dog(now))
+                or (now % 2048 == 0
+                    and all(s.done for s in scripts) and net.idle()))
         if not all(s.done for s in scripts):
             raise RuntimeError("training batch did not complete in budget")
         thr = net.total_bytes() / net.sim.now * cfg.freq_hz / GIB
@@ -138,8 +177,7 @@ def _run_dnn(sc: Scenario) -> Result:
     d_warmup, d_window = _DNN_WINDOWS[(quick, slim)]
     warmup = sc.measure.warmup if sc.measure.warmup is not None else d_warmup
     window = sc.measure.window if sc.measure.window is not None else d_window
-    measure = MeasureSpec(warmup, window, sc.measure.fidelity,
-                          sc.measure.per_link)
+    measure = replace(sc.measure, warmup=warmup, window=window)
     link_util = _run_windowed(net, measure)
     return _noc_result(sc, net, cfg, label=key,
                        link_utilization=link_util)
@@ -148,16 +186,17 @@ def _run_dnn(sc: Scenario) -> Result:
 def _run_windowed(net, measure: MeasureSpec) -> dict:
     """Warm up, optionally open per-link monitors, run the window."""
     warmup, window = measure.resolve()
+    dog = _watchdog(measure)
     net.set_warmup(warmup)
     if not measure.per_link:
-        net.run(warmup + window)
+        net.run(warmup + window, until=dog)
         return {}
     from repro.eval.heatmap import LinkHeatmap
 
     heat = LinkHeatmap(net)
-    net.run(warmup)
+    net.run(warmup, until=dog)
     heat.open_window()
-    net.run(window)
+    net.run(window, until=dog)
     return heat.utilization()
 
 
@@ -173,13 +212,15 @@ def _noc_result(sc: Scenario, net, cfg, *, label: str,
         utilization_pct=utilization(thr, cfg),
         latency_p50=p50, latency_p90=p90, latency_p99=p99,
         cycles=net.sim.now, counters=_noc_counters(net),
-        link_utilization=link_utilization)
+        link_utilization=link_utilization,
+        faults=net.fault_report())
 
 
 def _noc_counters(net) -> dict:
     return {"measured_bytes": net.measured_bytes(),
             "total_bytes": net.total_bytes(),
-            "transfers_completed": net.transfers_completed()}
+            "transfers_completed": net.transfers_completed(),
+            "response_errors": net.response_errors()}
 
 
 def _latency_percentiles(net) -> tuple[float, float, float]:
@@ -205,10 +246,11 @@ def _run_baseline(sc: Scenario) -> Result:
     from repro.baseline.network import PacketMesh
 
     cfg = sc.topology.mesh_config()
-    mesh = PacketMesh(cfg, injection_rate=sc.traffic.load, seed=sc.seed)
+    mesh = PacketMesh(cfg, injection_rate=sc.traffic.load, seed=sc.seed,
+                      faults=sc.faults, fault_seed=sc.seed)
     warmup, window = sc.measure.resolve()
     mesh.set_warmup(warmup)
-    mesh.run(warmup + window)
+    mesh.run(warmup + window, until=_watchdog(sc.measure))
     return Result(
         name=sc.label, backend="baseline",
         label=f"VC={cfg.n_vcs},Buf={cfg.buf_depth}",
@@ -221,4 +263,5 @@ def _run_baseline(sc: Scenario) -> Result:
         counters={"aggregate_gib_s": mesh.throughput_gib_s_aggregate(),
                   "flits_received": mesh.flits_received,
                   "flits_received_measured": mesh.flits_received_measured,
-                  "packets_received": mesh.packets_received})
+                  "packets_received": mesh.packets_received},
+        faults=mesh.fault_report())

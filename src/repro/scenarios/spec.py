@@ -26,6 +26,7 @@ import json
 from dataclasses import asdict, dataclass, replace
 
 from repro.baseline.network import PacketMeshConfig
+from repro.faults.spec import FaultSpec
 from repro.noc.config import NocConfig
 
 #: Default measurement windows (cycles).  "quick" shrinks these for
@@ -274,12 +275,19 @@ class MeasureSpec:
     the experiment supports it (fewer sweep points, scaled-down DNN
     models) — the single knob that replaced the ``quick: bool`` threaded
     through every signature.
+
+    ``max_wall_s`` (default None = off) arms a wall-clock watchdog: the
+    runner raises :class:`~repro.scenarios.run.SimulationTimeout` (with
+    the cycle count reached) if one scenario's simulation exceeds the
+    budget — protection against hung or pathologically slow points in
+    long sweeps.
     """
 
     warmup: int | None = None
     window: int | None = None
     fidelity: str = "full"
     per_link: bool = False
+    max_wall_s: float | None = None
 
     def __post_init__(self) -> None:
         if self.fidelity not in FIDELITIES:
@@ -289,6 +297,10 @@ class MeasureSpec:
             raise ValueError(f"warmup must be >= 0, got {self.warmup}")
         if self.window is not None and self.window < 1:
             raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.max_wall_s is not None and self.max_wall_s <= 0:
+            raise ValueError(
+                f"max_wall_s must be > 0 (or None = no watchdog), got "
+                f"{self.max_wall_s}")
 
     @property
     def is_quick(self) -> bool:
@@ -347,10 +359,23 @@ class Scenario:
     topology: TopologySpec = TopologySpec()
     traffic: TrafficSpec = TrafficSpec()
     measure: MeasureSpec = MeasureSpec()
+    faults: FaultSpec | None = None
     seed: int = 1
     name: str = ""
 
     def __post_init__(self) -> None:
+        if self.faults is not None and self.faults.active():
+            if self.traffic.kind == "dnn":
+                raise ValueError(
+                    "fault injection is not supported under DNN workloads "
+                    "(their completion logic assumes a fault-free fabric); "
+                    "use uniform or synthetic traffic")
+            if (self.topology.backend == "patronoc"
+                    and self.faults.recovery == "reroute"):
+                raise ValueError(
+                    "recovery='reroute' applies only to the packet "
+                    "baseline — PATRONoC's address-based routing is "
+                    "static (use 'retransmit' or 'none')")
         if self.topology.backend == "baseline" \
                 and self.traffic.kind != "uniform":
             raise ValueError(
@@ -395,20 +420,23 @@ class Scenario:
         return {"topology": self.topology.to_dict(),
                 "traffic": self.traffic.to_dict(),
                 "measure": self.measure.to_dict(),
+                "faults": (self.faults.to_dict()
+                           if self.faults is not None else None),
                 "seed": self.seed, "name": self.name}
 
     @classmethod
     def from_dict(cls, data: dict) -> "Scenario":
-        unknown = set(data) - {"topology", "traffic", "measure",
+        unknown = set(data) - {"topology", "traffic", "measure", "faults",
                                "seed", "name"}
         if unknown:
             raise ValueError(
                 f"unknown scenario key(s) {sorted(unknown)}; expected "
-                f"topology / traffic / measure / seed / name")
+                f"topology / traffic / measure / faults / seed / name")
         return cls(
             topology=TopologySpec.coerce(data.get("topology", {})),
             traffic=TrafficSpec.coerce(data.get("traffic", {})),
             measure=MeasureSpec.coerce(data.get("measure", {})),
+            faults=_coerce_faults(data.get("faults")),
             seed=data.get("seed", 1), name=data.get("name", ""))
 
     def to_json(self) -> str:
@@ -419,10 +447,18 @@ class Scenario:
         return cls.from_dict(json.loads(text))
 
 
+def _coerce_faults(value) -> FaultSpec | None:
+    """FaultSpec coercion where ``None`` means no fault injection."""
+    if value is None:
+        return None
+    return FaultSpec.coerce(value)
+
+
 #: Scenario field → coercer, shared by :meth:`Scenario.with_` and the
 #: sweep layer's axis application.
 SPEC_COERCERS = {
     "topology": TopologySpec.coerce,
     "traffic": TrafficSpec.coerce,
     "measure": MeasureSpec.coerce,
+    "faults": _coerce_faults,
 }

@@ -21,9 +21,12 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
+import sys
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
+from repro.faults.spec import FaultSpec
 from repro.scenarios.result import (
     Result,
     save_results_csv,
@@ -50,6 +53,9 @@ AXIS_ALIASES = {
     "topologies": "topology",
     "measures": "measure",
     "seeds": "seed",
+    "fault_rates": "faults.link_rate",
+    "corrupt_rates": "faults.corrupt_rate",
+    "recoveries": "faults.recovery",
 }
 
 class Sweep:
@@ -111,24 +117,80 @@ def sweep(base: Scenario | None = None, **axes) -> Sweep:
     return Sweep(base=base, axes=axes)
 
 
+#: True only inside pool workers (set by the pool initializer); the
+#: crash seam below must never fire in the parent process.
+_IS_WORKER = False
+
+
+def _worker_init() -> None:
+    global _IS_WORKER
+    _IS_WORKER = True
+
+
+def _run_point(sc: Scenario) -> Result:
+    """One sweep point, with a test-only crash seam: when
+    ``REPRO_SWEEP_TEST_CRASH`` names a substring of this point's label,
+    a *worker* process dies hard (``os._exit``) — the only way to
+    exercise the BrokenProcessPool recovery path from a test."""
+    crash = os.environ.get("REPRO_SWEEP_TEST_CRASH")
+    if crash and _IS_WORKER and crash in sc.label:
+        os._exit(3)
+    return run_scenario(sc)
+
+
 def run_sweep(points: Sweep | list[Scenario], *, jobs: int = 1,
-              out: str | Path | None = None) -> list[Result]:
+              out: str | Path | None = None) -> list[Result | None]:
     """Run every point; return results in point order.
 
     ``jobs > 1`` fans points out over a process pool.  Each Scenario is
     self-contained (its own seed), so parallel results are bit-identical
     to serial.  With ``out`` set, scenario+result artifacts are written
     there (``results.json``, ``results.csv``).
+
+    One bad point does not sink the sweep: a point that raises — or a
+    worker that dies, which breaks the whole pool — is retried once,
+    serially, in the parent.  Points that fail the retry too are
+    reported on stderr and returned as ``None`` (artifacts keep them as
+    JSON ``null`` so indices stay aligned with the scenarios).
     """
     if isinstance(points, Sweep):
         points = points.points()
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    results: list[Result | None] = [None] * len(points)
+    first_try_failures: list[int] = []
     if jobs == 1 or len(points) <= 1:
-        results = [run_scenario(sc) for sc in points]
+        for i, sc in enumerate(points):
+            try:
+                results[i] = _run_point(sc)
+            except Exception:
+                first_try_failures.append(i)
     else:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            results = list(pool.map(run_scenario, points))
+        with ProcessPoolExecutor(max_workers=jobs,
+                                 initializer=_worker_init) as pool:
+            futures = [pool.submit(_run_point, sc) for sc in points]
+            for i, future in enumerate(futures):
+                try:
+                    results[i] = future.result()
+                except Exception:
+                    # Includes BrokenProcessPool: a dead worker fails
+                    # every in-flight future, and all of them land in
+                    # the serial retry below.
+                    first_try_failures.append(i)
+    failed: list[tuple[int, Exception]] = []
+    for i in first_try_failures:
+        # Direct run_scenario: in-process, so the crash seam (and any
+        # worker-environment flakiness) is out of the loop.
+        try:
+            results[i] = run_scenario(points[i])
+        except Exception as exc:
+            failed.append((i, exc))
+    if failed:
+        print(f"run_sweep: {len(failed)}/{len(points)} point(s) failed "
+              f"after one retry:", file=sys.stderr)
+        for i, exc in failed:
+            print(f"  [{i}] {points[i].label}: "
+                  f"{type(exc).__name__}: {exc}", file=sys.stderr)
     if out is not None:
         save_artifacts(points, results, out)
     return results
@@ -193,13 +255,13 @@ def _check_axis_path(path: str) -> None:
         raise ValueError(f"unknown {head} field {rest!r} in axis {path!r}")
     raise ValueError(
         f"unknown axis {path!r}; use 'seed', 'name', 'topology[.field]', "
-        f"'traffic[.field]', 'measure[.field]', or an alias "
-        f"{sorted(AXIS_ALIASES)}")
+        f"'traffic[.field]', 'measure[.field]', 'faults[.field]', or an "
+        f"alias {sorted(AXIS_ALIASES)}")
 
 
 def _axis_fields(head: str) -> set[str]:
     cls = {"topology": TopologySpec, "traffic": TrafficSpec,
-           "measure": MeasureSpec}[head]
+           "measure": MeasureSpec, "faults": FaultSpec}[head]
     return set(cls.__dataclass_fields__)
 
 
@@ -212,4 +274,6 @@ def _apply_axis(sc: Scenario, path: str, value) -> Scenario:
     if not rest:  # whole-spec axis
         return replace(sc, **{head: SPEC_COERCERS[head](value)})
     sub = getattr(sc, head)
+    if sub is None:  # faults axis on a fault-free base scenario
+        sub = FaultSpec()
     return replace(sc, **{head: replace(sub, **{rest: value})})

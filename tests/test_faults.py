@@ -1,0 +1,544 @@
+"""Fault-injection subsystem (DESIGN.md §10): spec round-trips,
+deterministic fault histories, SLVERR semantics on the AXI mesh, drops
+and rerouting on the packet baseline, recovery policies, resilience
+sweeps, and the wall-clock watchdog.
+
+The structural invariant tested throughout: fault injection is
+*opt-in* — an inactive spec is bit-identical to no spec (covered in
+test_golden_equivalence.py) — and an active spec produces the same
+fault history for the same (spec, seed) in both kernel modes, in any
+process.
+"""
+
+import os
+
+import pytest
+
+from repro.axi.error_slave import ErrorSlave
+from repro.axi.beats import AddrBeat, WBeat
+from repro.axi.link import AxiLink
+from repro.axi.transaction import Transfer
+from repro.baseline.network import PacketMesh, PacketMeshConfig
+from repro.faults import (
+    FaultSpec,
+    FaultTimeline,
+    LinkFault,
+    PortFault,
+    fault_rngs,
+)
+from repro.noc.config import NocConfig
+from repro.noc.network import NocNetwork
+from repro.scenarios import (
+    MeasureSpec,
+    Scenario,
+    SimulationTimeout,
+    TopologySpec,
+    TrafficSpec,
+    run_scenario,
+)
+from repro.scenarios.sweep import run_sweep, sweep
+from repro.sim.kernel import Component, Simulator
+from repro.traffic.uniform import uniform_random
+
+QUICK = MeasureSpec(warmup=300, window=1200)
+
+
+def _uniform_scenario(*, faults=None, seed=3, load=0.5, backend="patronoc",
+                      measure=QUICK):
+    topology = (TopologySpec.slim() if backend == "patronoc"
+                else TopologySpec.baseline())
+    return Scenario(topology=topology,
+                    traffic=TrafficSpec.uniform(load=load,
+                                                max_burst_bytes=1000),
+                    measure=measure, faults=faults, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Spec layer
+# ----------------------------------------------------------------------
+class TestFaultSpec:
+    def test_json_round_trip(self):
+        spec = FaultSpec(
+            links=[LinkFault(0, 1, start=100, duration=500),
+                   LinkFault(5, 6, width_factor=0.5)],
+            ports=[PortFault(2, 1, start=10)],
+            link_rate=1e-4, corrupt_rate=2e-5,
+            recovery="retransmit", max_retries=5)
+        again = FaultSpec.from_json(spec.to_json())
+        assert again == spec
+        assert isinstance(again.links[0], LinkFault)
+
+    def test_dict_inputs_normalized(self):
+        spec = FaultSpec(links=[{"src": 0, "dst": 1}],
+                         ports=[{"node": 3, "port": 0}])
+        assert spec.links == (LinkFault(0, 1),)
+        assert spec.ports == (PortFault(3, 0),)
+
+    def test_active(self):
+        assert not FaultSpec().active()
+        assert not FaultSpec(recovery="retransmit").active()
+        assert FaultSpec(links=[LinkFault(0, 1)]).active()
+        assert FaultSpec(link_rate=1e-5).active()
+        assert FaultSpec(corrupt_rate=1e-5).active()
+
+    @pytest.mark.parametrize("bad", [
+        dict(links=[{"src": 0, "dst": 0}]),
+        dict(links=[{"src": 0, "dst": 1, "start": -1}]),
+        dict(links=[{"src": 0, "dst": 1, "duration": 0}]),
+        dict(links=[{"src": 0, "dst": 1, "width_factor": 1.0}]),
+        dict(ports=[{"node": -1, "port": 0}]),
+        dict(link_rate=1.5),
+        dict(corrupt_rate=2.0),
+        dict(recovery="pray"),
+        dict(max_retries=-1),
+        dict(retry_timeout=0),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            FaultSpec(**bad)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown fault key"):
+            FaultSpec.from_dict({"lnk_rate": 0.1})
+
+
+class TestScenarioIntegration:
+    def test_scenario_round_trip_with_faults(self):
+        sc = _uniform_scenario(
+            faults=FaultSpec(corrupt_rate=1e-4, recovery="retransmit"))
+        again = Scenario.from_json(sc.to_json())
+        assert again == sc
+        assert again.faults == sc.faults
+
+    def test_scenario_round_trip_without_faults(self):
+        sc = _uniform_scenario()
+        assert sc.faults is None
+        assert Scenario.from_json(sc.to_json()) == sc
+
+    def test_dnn_rejects_faults(self):
+        with pytest.raises(ValueError, match="DNN"):
+            Scenario(traffic=TrafficSpec.dnn("par"),
+                     faults=FaultSpec(link_rate=1e-4))
+
+    def test_patronoc_rejects_reroute(self):
+        with pytest.raises(ValueError, match="reroute"):
+            _uniform_scenario(faults=FaultSpec(links=[LinkFault(0, 1)],
+                                               recovery="reroute"))
+
+    def test_baseline_accepts_reroute(self):
+        sc = _uniform_scenario(backend="baseline",
+                               faults=FaultSpec(links=[LinkFault(0, 1)],
+                                                recovery="reroute"))
+        assert sc.faults.recovery == "reroute"
+
+
+# ----------------------------------------------------------------------
+# Deterministic fault histories
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_timeline_reproducible(self):
+        spec = FaultSpec(link_rate=1e-3, link_duration=200)
+
+        def history(seed):
+            tl = FaultTimeline(spec, 48, rng=fault_rngs(seed, 1)[0])
+            events = []
+            for now in range(0, 20_000, 100):
+                events.extend(tl.pop_due(now))
+            return events
+
+        assert history(5) == history(5)
+        assert history(5) != history(6)
+
+    def test_same_spec_seed_same_result(self):
+        sc = _uniform_scenario(
+            faults=FaultSpec(link_rate=5e-4, corrupt_rate=1e-4,
+                             recovery="retransmit"))
+        assert run_scenario(sc) == run_scenario(sc)
+
+    def test_sweep_parallel_matches_serial(self):
+        base = _uniform_scenario(
+            faults=FaultSpec(corrupt_rate=1e-4, recovery="retransmit"),
+            measure=MeasureSpec(warmup=200, window=800))
+        sw = sweep(base, seeds=[1, 7, 42, 99])
+        serial = run_sweep(sw, jobs=1)
+        parallel = run_sweep(sw, jobs=4)
+        assert all(r is not None for r in serial)
+        assert serial == parallel
+
+    @pytest.mark.parametrize("backend", ["patronoc", "baseline"])
+    def test_activity_matches_always_step_under_faults(self, backend):
+        spec = FaultSpec(links=[LinkFault(5, 6, start=100, duration=600),
+                                LinkFault(9, 10, width_factor=0.5)],
+                        link_rate=5e-4, corrupt_rate=1e-4,
+                        recovery="none" if backend == "patronoc"
+                        else "reroute")
+
+        def observe(always_step):
+            if backend == "baseline":
+                mesh = PacketMesh(PacketMeshConfig(), injection_rate=0.08,
+                                  seed=7, always_step=always_step,
+                                  faults=spec)
+                mesh.run(2500)
+                return (mesh.packets_received, mesh.packets_dropped,
+                        mesh.flits_received, mesh.latency.summary(),
+                        mesh.fault_report())
+            net = NocNetwork(NocConfig.slim(), always_step=always_step,
+                             faults=spec, fault_seed=7)
+            traffic = uniform_random(net, load=0.5, max_burst_bytes=1000,
+                                     seed=7).install()
+            net.run(2000)
+            traffic.quiesce()
+            net.drain(max_cycles=100_000)
+            return (net.sim.now, net.total_bytes(),
+                    net.transfers_completed(), net.counters.as_dict(),
+                    net.fault_report())
+
+        assert observe(False) == observe(True)
+
+
+# ----------------------------------------------------------------------
+# AXI-mesh semantics
+# ----------------------------------------------------------------------
+class TestAxiFaults:
+    def test_dead_link_fails_fast_with_slverr(self):
+        """Transfers routed into a dead link terminate with SLVERR (no
+        hang); error counters and the Result faults section see them."""
+        sc = _uniform_scenario(
+            load=0.8, seed=5,
+            faults=FaultSpec(links=[LinkFault(0, 1, start=200)]))
+        result = run_scenario(sc)
+        f = result.faults
+        assert f["blocked_aw"] + f["blocked_ar"] > 0
+        assert f["response_errors"] > 0
+        assert result.counters["response_errors"] == f["response_errors"]
+        assert result.throughput_gib_s > 0  # the rest of the mesh flows
+
+    def test_dead_port_blocks_its_direction(self):
+        net = NocNetwork(NocConfig(rows=2, cols=2),
+                         faults=FaultSpec(ports=[PortFault(0, 1)]),
+                         fault_seed=1)
+        done = []
+        # node 0 -> node 1 crosses XP 0's east port (port 1): SLVERR.
+        net.dmas[0].submit(Transfer(
+            src=0, addr=net.addr_of(1, 0), nbytes=64, is_read=False,
+            on_complete=lambda now: done.append(now)))
+        net.drain(max_cycles=20_000)
+        assert done and net.dmas[0].errors == 1
+        assert net.fault_report()["blocked_aw"] == 1
+        assert net.memories[1].bytes_written == 0
+
+    def test_transient_link_fault_clears(self):
+        """After the fault window, the same path works again."""
+        net = NocNetwork(NocConfig(rows=2, cols=2),
+                         faults=FaultSpec(links=[
+                             LinkFault(0, 1, start=0, duration=300)]),
+                         fault_seed=1)
+        errors, ok = [], []
+        net.dmas[0].submit(Transfer(
+            src=0, addr=net.addr_of(1, 0), nbytes=64, is_read=False,
+            on_complete=lambda now: errors.append(now)))
+        net.run(400)  # past the fault window
+        net.dmas[0].submit(Transfer(
+            src=0, addr=net.addr_of(1, 0), nbytes=64, is_read=False,
+            on_complete=lambda now: ok.append(now)))
+        net.drain(max_cycles=20_000)
+        assert net.dmas[0].errors == 1 and len(errors) == 1 and len(ok) == 1
+        assert net.memories[1].bytes_written == 64
+
+    def test_degraded_link_throttles_but_delivers(self):
+        """A width-degraded link slows traffic through it without errors
+        and without dropping anything."""
+        def total_cycles(faults):
+            net = NocNetwork(NocConfig(rows=2, cols=2), faults=faults,
+                             fault_seed=1)
+            net.dmas[0].submit(Transfer(
+                src=0, addr=net.addr_of(1, 0), nbytes=4096, is_read=False))
+            net.drain(max_cycles=100_000)
+            assert net.memories[1].bytes_written == 4096
+            assert net.dmas[0].errors == 0
+            return net.sim.now
+
+        healthy = total_cycles(None)
+        degraded = total_cycles(FaultSpec(links=[
+            LinkFault(0, 1, width_factor=0.25)]))
+        assert degraded > healthy * 2
+
+    def test_corruption_surfaces_as_slverr_and_is_not_credited(self):
+        sc = _uniform_scenario(
+            faults=FaultSpec(corrupt_rate=2e-4))
+        result = run_scenario(sc)
+        f = result.faults
+        assert f["corrupted"] > 0
+        assert f["detected"] == f["corrupted"]
+        assert f["response_errors"] > 0
+
+    def test_retransmit_recovers_corrupted_transfers(self):
+        sc = _uniform_scenario(
+            faults=FaultSpec(corrupt_rate=2e-4, recovery="retransmit"))
+        result = run_scenario(sc)
+        f = result.faults
+        assert f["retransmissions"] > 0
+        assert f["recovered"] > 0
+        assert f["recovery_latency"]["count"] == f["recovered"]
+        assert f["recovery_latency"]["p50"] > 0
+
+    def test_throughput_degrades_with_corruption(self):
+        clean = run_scenario(_uniform_scenario(load=1.0))
+        noisy = run_scenario(_uniform_scenario(
+            load=1.0, faults=FaultSpec(corrupt_rate=5e-4)))
+        assert noisy.throughput_gib_s < clean.throughput_gib_s
+
+    def test_retry_budget_bounds_retransmissions(self):
+        """With certain corruption every transfer exhausts its budget
+        and is dropped — never an infinite retry loop."""
+        net = NocNetwork(NocConfig(rows=2, cols=2),
+                         faults=FaultSpec(corrupt_rate=1.0,
+                                          recovery="retransmit",
+                                          max_retries=2),
+                         fault_seed=1)
+        done = []
+        net.dmas[0].submit(Transfer(
+            src=0, addr=net.addr_of(1, 0), nbytes=64, is_read=False,
+            on_complete=lambda now: done.append(now)))
+        net.drain(max_cycles=50_000)
+        f = net.fault_report()
+        assert done  # closed-loop callers still progress
+        assert f["retransmissions"] == 2
+        assert f["dropped"] == 1 and f["recovered"] == 0
+
+
+# ----------------------------------------------------------------------
+# Packet-baseline semantics
+# ----------------------------------------------------------------------
+class TestBaselineFaults:
+    def _mesh(self, spec, *, rate=0.08, cycles=4000, seed=3):
+        mesh = PacketMesh(PacketMeshConfig(), injection_rate=rate,
+                          seed=seed, faults=spec)
+        mesh.run(cycles)
+        return mesh
+
+    def test_dead_link_drops_whole_packets(self):
+        mesh = self._mesh(FaultSpec(links=[LinkFault(5, 6, start=100)]))
+        report = mesh.fault_report()
+        assert mesh.packets_dropped > 0
+        # Wormhole drop semantics: the body flits of a dropped head are
+        # drained too, never left to corrupt a later allocation.
+        assert report["flits_dropped"] == (
+            mesh.packets_dropped * mesh.cfg.packet_flits)
+
+    def test_reroute_reduces_drops(self):
+        spec_none = FaultSpec(links=[LinkFault(5, 6, start=100)])
+        spec_rr = FaultSpec(links=[LinkFault(5, 6, start=100)],
+                            recovery="reroute")
+        dropped_none = self._mesh(spec_none).packets_dropped
+        rerouted = self._mesh(spec_rr)
+        assert rerouted.packets_dropped < dropped_none
+        assert rerouted.fault_report()["reroute_decisions"] > 0
+
+    def test_corrupt_packets_not_credited(self):
+        clean = self._mesh(None)
+        noisy = self._mesh(FaultSpec(corrupt_rate=1e-3))
+        assert noisy.fault_report()["corrupted"] > 0
+        assert (noisy.flits_received_measured < clean.flits_received_measured)
+
+    def test_nic_retransmit_recovers_lost_payload(self):
+        """NIC-driven mode: corrupted packets are retransmitted
+        end-to-end and their payload is eventually credited."""
+        from repro.baseline.nic import PacketNic
+
+        spec = FaultSpec(corrupt_rate=2e-3, recovery="retransmit")
+        mesh = PacketMesh(PacketMeshConfig(), injection_rate=0.0, seed=3,
+                          faults=spec)
+        nics = [PacketNic(mesh, n) for n in range(mesh.cfg.n_nodes)]
+        for nic in nics:
+            mesh.sim.add(nic)
+        for n, nic in enumerate(nics):
+            nic.submit(Transfer(src=n, addr=0, nbytes=512, is_read=False),
+                       (n + 5) % mesh.cfg.n_nodes)
+        mesh.run(20_000)
+        report = mesh.fault_report()
+        assert report["corrupted"] > 0
+        assert report["retransmissions"] > 0
+        assert report["recovered"] > 0
+        total_payload = 512 * mesh.cfg.n_nodes
+        assert mesh.bytes_received == total_payload
+
+
+# ----------------------------------------------------------------------
+# ErrorSlave activity contract (regression)
+# ----------------------------------------------------------------------
+class _ErrDriver(Component):
+    """Scripted requester against an ErrorSlave, logging every response
+    beat with its cycle — the observable for mode equivalence."""
+
+    def __init__(self, link):
+        self.link = link
+        link.watch_responses(self)
+        self.log = []
+        self._script = {2: "w", 9: "r", 40: "w", 41: "r"}
+        self._next_id = 0
+
+    def quiet(self):
+        return not self.link.b._q and not self.link.r._q and not self._script
+
+    def next_event(self, now):
+        due = [c for c in self._script if c > now]
+        return min(due) if due else None
+
+    def step(self, now):
+        kind = self._script.pop(now, None)
+        if kind == "w":
+            self.link.aw.push(AddrBeat(self._next_id, 0, 1, 4, 0, 0), now)
+            self.link.w.push(WBeat(True, 4), now)
+            self._next_id += 1
+        elif kind == "r":
+            self.link.ar.push(AddrBeat(self._next_id, 0, 2, 8, 0, 0), now)
+            self._next_id += 1
+        b = self.link.b.peek(now)
+        if b is not None:
+            self.link.b.pop(now)
+            self.log.append((now, "b", b.id, int(b.resp)))
+        r = self.link.r.peek(now)
+        if r is not None:
+            self.link.r.pop(now)
+            self.log.append((now, "r", r.id, r.last, int(r.resp)))
+
+
+class TestErrorSlaveActivity:
+    @pytest.mark.parametrize("always_step", [False, True])
+    def test_error_slave_goes_quiet(self, always_step):
+        link = AxiLink("err")
+        sim = Simulator(activity=not always_step)
+        slave = ErrorSlave("err", link)
+        sim.add(slave)
+        link.aw.push(AddrBeat(1, 0, 1, 4, 0, 0), sim.now)
+        link.w.push(WBeat(True, 4), sim.now)
+        sim.run(20)
+        assert slave.writes_rejected == 1
+        assert slave.quiet()
+
+    def test_mode_equivalence(self):
+        """An ErrorSlave-backed topology is bit-identical between
+        always-step and activity modes, including long idle gaps the
+        activity kernel fast-forwards across."""
+        def observe(always_step):
+            link = AxiLink("err")
+            sim = Simulator(activity=not always_step)
+            slave = ErrorSlave("err", link)
+            driver = _ErrDriver(link)
+            sim.add(driver)
+            sim.add(slave)
+            sim.run(100)
+            return (driver.log, slave.writes_rejected,
+                    slave.reads_rejected, sim.now)
+
+        assert observe(False) == observe(True)
+
+
+# ----------------------------------------------------------------------
+# Watchdog + hardened sweeps
+# ----------------------------------------------------------------------
+class TestWatchdog:
+    def test_timeout_raises_with_progress(self):
+        sc = _uniform_scenario(
+            measure=MeasureSpec(warmup=1000, window=50_000_000,
+                                max_wall_s=0.15))
+        with pytest.raises(SimulationTimeout) as err:
+            run_scenario(sc)
+        assert err.value.cycles > 0
+        assert "wall-clock" in str(err.value)
+
+    def test_off_by_default(self):
+        assert MeasureSpec().max_wall_s is None
+        result = run_scenario(_uniform_scenario())
+        assert result.cycles == QUICK.warmup + QUICK.window
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MeasureSpec(max_wall_s=0.0)
+
+    def test_round_trips(self):
+        m = MeasureSpec(max_wall_s=30.0)
+        assert MeasureSpec.coerce(m.to_dict()) == m
+
+
+class TestHardenedSweep:
+    def _points(self, n=3):
+        base = _uniform_scenario(measure=MeasureSpec(warmup=200, window=600))
+        return sweep(base, seeds=list(range(1, n + 1))).points()
+
+    def test_failing_point_reported_not_raised(self, capsys):
+        """A point that raises (timeout) twice becomes None + a stderr
+        report; the other points still complete."""
+        points = self._points()
+        points[1] = points[1].with_(
+            measure=MeasureSpec(warmup=1000, window=50_000_000,
+                                max_wall_s=0.1))
+        results = run_sweep(points, jobs=1)
+        assert results[0] is not None and results[2] is not None
+        assert results[1] is None
+        assert "failed after one retry" in capsys.readouterr().err
+
+    def test_worker_crash_recovered_by_serial_retry(self, monkeypatch):
+        """A worker process dying hard (BrokenProcessPool) must not sink
+        the sweep: every point is recovered by the in-parent retry and
+        matches a clean serial run exactly."""
+        points = self._points(4)
+        clean = run_sweep(points, jobs=1)
+        monkeypatch.setenv("REPRO_SWEEP_TEST_CRASH", "seed2")
+        crashed = run_sweep(points, jobs=2)
+        assert crashed == clean
+
+    def test_crash_seam_inert_in_parent(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_TEST_CRASH", "seed")
+        results = run_sweep(self._points(2), jobs=1)
+        assert all(r is not None for r in results)
+
+    def test_artifacts_round_trip_with_failures(self, tmp_path):
+        from repro.scenarios import load_results_json, save_artifacts
+
+        points = self._points(2)
+        results = [run_scenario(points[0]), None]
+        save_artifacts(points, results, tmp_path)
+        again = load_results_json(tmp_path / "results.json")
+        assert again == results
+
+    def test_faults_axes(self):
+        base = _uniform_scenario()  # faults=None base
+        sw = sweep(base, corrupt_rates=[0.0, 1e-4],
+                   recoveries=["none", "retransmit"])
+        points = sw.points()
+        assert len(points) == 4
+        assert points[0].faults is not None
+        assert not points[0].faults.active()  # 0.0 + none = inactive
+        assert points[3].faults.corrupt_rate == 1e-4
+        assert points[3].faults.recovery == "retransmit"
+
+
+# ----------------------------------------------------------------------
+# Error responses visible end-to-end in Result counters (DECERR/SLVERR)
+# ----------------------------------------------------------------------
+class TestErrorVisibility:
+    def test_decerr_counted_as_response_errors(self):
+        """A DMA writing+reading a memory-map hole completes with DECERR
+        and the errors surface in the network counter rollup."""
+        net = NocNetwork(NocConfig(rows=2, cols=2))
+        done = []
+        hole = net.memory_map.regions[-1].end + 4096
+        for is_read in (False, True):
+            net.dmas[0].submit(Transfer(
+                src=0, addr=hole, nbytes=64, is_read=is_read,
+                on_complete=lambda now: done.append(now)))
+        net.drain(max_cycles=20_000)
+        assert len(done) == 2
+        assert net.response_errors() == 2
+        assert net.counters["decerr_b"] == 1
+        assert net.counters["decerr_r"] == 1
+        assert net.fault_report() == {}  # no FaultSpec: no faults section
+
+    def test_result_counters_report_response_errors(self):
+        clean = run_scenario(_uniform_scenario())
+        assert clean.counters["response_errors"] == 0
+        noisy = run_scenario(_uniform_scenario(
+            faults=FaultSpec(corrupt_rate=3e-4)))
+        assert noisy.counters["response_errors"] > 0

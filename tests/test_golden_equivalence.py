@@ -9,6 +9,7 @@ counts, protocol counters, and the exact drain cycle.
 
 import pytest
 
+from repro.faults import FaultSpec
 from repro.noc.config import NocConfig
 from repro.noc.network import NocNetwork
 from repro.traffic.uniform import uniform_random
@@ -25,9 +26,10 @@ RUN_CYCLES = 1200
 
 
 def observe(cfg: NocConfig, traffic_kwargs: dict, seed: int,
-            always_step: bool):
+            always_step: bool, faults: FaultSpec | None = None):
     """Run, quiesce, drain; return every simulation observable."""
-    net = NocNetwork(cfg, always_step=always_step)
+    net = NocNetwork(cfg, always_step=always_step, faults=faults,
+                     fault_seed=seed)
     traffic = uniform_random(net, seed=seed, **traffic_kwargs).install()
     net.run(RUN_CYCLES)
     mid_throughput = net.aggregate_throughput_gib_s()
@@ -62,6 +64,26 @@ def test_activity_mode_matches_always_step(name, seed):
     # be bit-identical (== on floats, no approx).
     for key in reference:
         assert activity[key] == reference[key], key
+
+
+@pytest.mark.parametrize("always_step", [False, True])
+def test_no_fault_path_is_bit_identical(always_step):
+    """Wiring the fault subsystem in must not perturb a fault-free run:
+    ``faults=None``, an *inactive* ``FaultSpec()``, and an armed spec
+    whose only fault fires far beyond the run horizon all produce
+    bit-identical observables (the inactive forms never construct a
+    controller; the armed form does, and its presence must still be
+    invisible until the fault fires)."""
+    cfg, traffic_kwargs = CONFIGS["slim4x4"]
+    baseline = observe(cfg, traffic_kwargs, 7, always_step, faults=None)
+    inactive = observe(cfg, traffic_kwargs, 7, always_step,
+                       faults=FaultSpec())
+    armed = observe(cfg, traffic_kwargs, 7, always_step,
+                    faults=FaultSpec(links=[{"src": 0, "dst": 1,
+                                             "start": 10**9}]))
+    for key in baseline:
+        assert inactive[key] == baseline[key], f"inactive spec: {key}"
+        assert armed[key] == baseline[key], f"armed-never-firing: {key}"
 
 
 def test_repeated_drain_is_idempotent_in_both_modes():
