@@ -47,12 +47,22 @@ def _means(json_path: Path) -> dict[str, float]:
     return {b["name"]: b["stats"]["mean"] for b in data["benchmarks"]}
 
 
+def _cycles_per_second(json_path: Path) -> dict[str, float]:
+    data = json.loads(json_path.read_text())
+    return {b["name"]: b["extra_info"]["cycles_per_second"]
+            for b in data["benchmarks"]
+            if "cycles_per_second" in b.get("extra_info", {})}
+
+
 def cmd_record(_args: argparse.Namespace) -> int:
     status = _run_bench(BASELINE)
     if status == 0:
         print(f"recorded baseline -> {BASELINE}")
+        cps = _cycles_per_second(BASELINE)
         for name, mean in sorted(_means(BASELINE).items()):
-            print(f"  {name}: {mean * 1e3:.3f} ms")
+            rate = f"  ({cps[name] / 1e3:8.1f} kcycles/s)" \
+                if name in cps else ""
+            print(f"  {name}: {mean * 1e3:.3f} ms{rate}")
     return status
 
 
@@ -69,6 +79,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
             return status
         baseline = _means(BASELINE)
         current = _means(current_path)
+        guard = set(args.fail_on or baseline)
+        unknown = guard - set(baseline)
+        if unknown:
+            print(f"--fail-on names not in the baseline: "
+                  f"{sorted(unknown)}", file=sys.stderr)
+            return 2
         worst = 0.0
         print(f"{'benchmark':<40} {'recorded':>12} {'current':>12} {'ratio':>7}")
         for name in sorted(baseline):
@@ -76,11 +92,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 print(f"{name:<40} {'(missing in current run)':>33}")
                 continue
             ratio = current[name] / baseline[name]
-            worst = max(worst, ratio)
+            if name in guard:
+                worst = max(worst, ratio)
             print(f"{name:<40} {baseline[name] * 1e3:>10.3f}ms "
-                  f"{current[name] * 1e3:>10.3f}ms {ratio:>6.2f}x")
+                  f"{current[name] * 1e3:>10.3f}ms {ratio:>6.2f}x"
+                  f"{'' if name in guard else '  (not guarded)'}")
         if args.fail_above is not None and worst > args.fail_above:
-            print(f"regression: worst ratio {worst:.2f}x exceeds "
+            print(f"regression: worst guarded ratio {worst:.2f}x exceeds "
                   f"--fail-above {args.fail_above}", file=sys.stderr)
             return 1
         return 0
@@ -95,8 +113,13 @@ def main(argv: list[str] | None = None) -> int:
     compare = sub.add_parser("compare", help="run benches, diff vs baseline")
     compare.add_argument("--fail-above", type=float, default=None,
                          metavar="RATIO",
-                         help="exit non-zero if any bench is slower than "
-                              "RATIO x the recorded mean")
+                         help="exit non-zero if any guarded bench is slower "
+                              "than RATIO x the recorded mean")
+    compare.add_argument("--fail-on", nargs="+", default=None,
+                         metavar="BENCH",
+                         help="bench names the --fail-above guard applies "
+                              "to (default: all; the idle bench is "
+                              "sub-millisecond and too noisy to guard)")
     args = parser.parse_args(argv)
     return cmd_record(args) if args.command == "record" else cmd_compare(args)
 

@@ -3,10 +3,20 @@
 These are the only benches where statistical rounds make sense; they
 guard against performance regressions in the hot XP/endpoint paths.
 Record/compare a baseline with ``benchmarks/record.py`` (see README);
-CI runs a single-round smoke via ``SIMSPEED_ROUNDS=1``.
+CI runs a single-round smoke via ``SIMSPEED_ROUNDS=1`` and fails on a
+>30% regression of the loaded benches vs. BENCH_simspeed.json.
+
+Each loaded fabric is benched twice — default kernel and the SoA kernel
+(``kernel="soa"``, DESIGN.md §11) — so the speedup trajectory is in the
+recorded baseline, not just in prose.  ``SIMSPEED_PROFILE=1`` wraps each
+bench round in cProfile and prints the top-25 cumulative entries, so
+hot-path work starts from data instead of guesses.
 """
 
+import cProfile
 import os
+import pstats
+import sys
 
 from repro.baseline.network import PacketMesh, PacketMeshConfig
 from repro.noc.config import NocConfig
@@ -15,35 +25,64 @@ from repro.traffic.uniform import uniform_random
 
 CYCLES = 2_000
 ROUNDS = max(1, int(os.environ.get("SIMSPEED_ROUNDS", "3")))
+PROFILE = os.environ.get("SIMSPEED_PROFILE") == "1"
 
 
-def test_patronoc_cycles_per_second(benchmark):
+def _bench(benchmark, setup, run):
+    """pedantic + cycles/s extra_info + the optional profiling hook."""
+    if PROFILE:
+        prof = cProfile.Profile()
+        inner = run
+
+        def run(*state):  # noqa: F811 - deliberate profiled wrapper
+            prof.enable()
+            inner(*state)
+            prof.disable()
+
+    benchmark.pedantic(run, setup=setup, rounds=ROUNDS, iterations=1)
+    benchmark.extra_info["cycles_per_round"] = CYCLES
+    benchmark.extra_info["cycles_per_second"] = round(
+        CYCLES / benchmark.stats.stats.mean)
+    if PROFILE:
+        pstats.Stats(prof, stream=sys.stdout) \
+            .sort_stats("cumulative").print_stats(25)
+
+
+def _patronoc_setup(kernel=None):
     def setup():
-        net = NocNetwork(NocConfig.slim())
+        net = NocNetwork(NocConfig.slim(), kernel=kernel)
         uniform_random(net, load=0.5, max_burst_bytes=1000,
                        seed=0).install()
         net.run(500)  # fill the pipeline so we measure steady state
         return (net,), {}
 
-    def run(net):
-        net.run(CYCLES)
-
-    benchmark.pedantic(run, setup=setup, rounds=ROUNDS, iterations=1)
-    benchmark.extra_info["cycles_per_round"] = CYCLES
+    return setup
 
 
-def test_baseline_cycles_per_second(benchmark):
+def _baseline_setup(kernel=None):
     def setup():
         mesh = PacketMesh(PacketMeshConfig(n_vcs=4, buf_depth=32),
-                          injection_rate=0.3, seed=0)
+                          injection_rate=0.3, seed=0, kernel=kernel)
         mesh.run(500)
         return (mesh,), {}
 
-    def run(mesh):
-        mesh.run(CYCLES)
+    return setup
 
-    benchmark.pedantic(run, setup=setup, rounds=ROUNDS, iterations=1)
-    benchmark.extra_info["cycles_per_round"] = CYCLES
+
+def test_patronoc_cycles_per_second(benchmark):
+    _bench(benchmark, _patronoc_setup(), lambda net: net.run(CYCLES))
+
+
+def test_patronoc_soa_cycles_per_second(benchmark):
+    _bench(benchmark, _patronoc_setup("soa"), lambda net: net.run(CYCLES))
+
+
+def test_baseline_cycles_per_second(benchmark):
+    _bench(benchmark, _baseline_setup(), lambda mesh: mesh.run(CYCLES))
+
+
+def test_baseline_soa_cycles_per_second(benchmark):
+    _bench(benchmark, _baseline_setup("soa"), lambda mesh: mesh.run(CYCLES))
 
 
 def test_idle_network_overhead(benchmark):
@@ -51,7 +90,5 @@ def test_idle_network_overhead(benchmark):
     def setup():
         return (NocNetwork(NocConfig.slim()),), {}
 
-    def run(net):
-        net.run(CYCLES)
-
-    benchmark.pedantic(run, setup=setup, rounds=ROUNDS, iterations=1)
+    benchmark.pedantic(lambda net: net.run(CYCLES), setup=setup,
+                       rounds=ROUNDS, iterations=1)

@@ -59,11 +59,8 @@ class AxiLink:
         cycles a width-degraded link may not move a beat, the fault
         controller stalls its heads before any consumer steps.  Heads
         not yet visible are untouched (never moved earlier)."""
-        nxt = now + 1
         for ch in (self.aw, self.w, self.ar, self.b, self.r):
-            q = ch._q
-            if q and q[0][0] <= now:
-                q[0] = (nxt, q[0][1])
+            ch.stall_head(now)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         occ = ",".join(f"{n}={len(ch)}" for n, ch in zip(CHANNELS, self.channels()))

@@ -58,9 +58,20 @@ class PacketMesh(Component):
 
     def __init__(self, cfg: PacketMeshConfig, injection_rate: float = 0.0,
                  seed: int | None = None, always_step: bool = False,
-                 faults=None, fault_seed: int | None = None):
+                 faults=None, fault_seed: int | None = None,
+                 kernel: str | None = None):
         if injection_rate < 0:
             raise ValueError("injection rate must be >= 0")
+        if kernel is None:
+            kernel = "always" if always_step else "activity"
+        elif kernel not in ("activity", "always", "soa"):
+            raise ValueError(
+                f"kernel must be 'activity', 'always', or 'soa', got {kernel!r}")
+        elif always_step and kernel != "always":
+            raise ValueError(
+                f"always_step=True conflicts with kernel={kernel!r}")
+        self.kernel = kernel
+        always_step = kernel == "always"
         self.cfg = cfg
         self.topology = Mesh2D(cfg.rows, cfg.cols)
         self.sim = Simulator(cfg.freq_hz, activity=not always_step)
@@ -120,6 +131,14 @@ class PacketMesh(Component):
                 self._corrupt_rng = rngs[1]
         self.sim.add(self)
         self._source_cap = 64  # packets queued per node before pausing
+        if kernel == "soa":
+            from repro.soa.baseline import SoaMeshKernel
+
+            self._soa = SoaMeshKernel(self)
+            #: bit for (P_LOCAL, vc) injection slots (mask maintenance).
+            self._soa_local_bit = 1 << (P_LOCAL * cfg.n_vcs)
+        else:
+            self._soa = None
         self._route_fn = (self._route_fault_aware
                           if self._faults is not None
                           and self._faults.recovery == "reroute"
@@ -177,6 +196,8 @@ class PacketMesh(Component):
         if flit.is_head and self._corrupt_rate:
             self._maybe_corrupt(flit.packet)
         self.routers[node].accept(P_LOCAL, vc, flit, now)
+        if self._soa is not None:
+            self._soa.masks[node] |= 1 << (P_LOCAL * self.cfg.n_vcs + vc)
         self._flits_in_network += 1
         self.wake(now + 1)  # flit is visible to allocation next cycle
 
@@ -359,8 +380,11 @@ class PacketMesh(Component):
         # post-gap arbitration matches always-step mode exactly.
         gap = now - self._last_stepped - 1
         if gap > 0:
-            for router in self.routers:
-                router.advance_idle(gap)
+            if self._soa is not None:
+                self._soa.advance_idle(gap)
+            else:
+                for router in self.routers:
+                    router.advance_idle(gap)
         self._last_stepped = now
         # 0. Apply due fault events (next_event folds the timeline in, so
         # the mesh is stepped at every event cycle in both kernel modes).
@@ -387,6 +411,7 @@ class PacketMesh(Component):
                     self._next_arrival[node] += rng.exponential(
                         cfg.packet_flits / self.injection_rate)
         # 2. Feed injection: one flit per node per cycle into the local port.
+        soa = self._soa
         for node in range(n_nodes):
             inject = self._inject_q[node]
             if not inject and self._source_q[node]:
@@ -396,13 +421,18 @@ class PacketMesh(Component):
                 # VC 0 is the injection VC (Noxim default for sources).
                 if router.buffer_space(P_LOCAL, 0) > 0:
                     router.accept(P_LOCAL, 0, inject.popleft(), now)
+                    if soa is not None:
+                        soa.masks[node] |= self._soa_local_bit
                     self._flits_in_network += 1
         # 3. Step every router.
         route = self._route_fn
         eject = self._eject
         drop = self._drop if self._faults is not None else None
-        for router in self.routers:
-            router.step(now, route, eject, drop)
+        if soa is not None:
+            soa.step_routers(now, route, eject, drop)
+        else:
+            for router in self.routers:
+                router.step(now, route, eject, drop)
 
     # ------------------------------------------------------------------
     # Noxim-convention metrics

@@ -101,6 +101,13 @@ class NocNetwork:
         Force the reference always-step kernel instead of the
         activity-driven one (DESIGN.md §2).  Results are identical; the
         golden-equivalence tests rely on this switch.
+    kernel:
+        Execution backend: ``"activity"`` (default; per-object
+        activity-driven stepping), ``"always"`` (the always-step golden
+        reference, same as ``always_step=True``), or ``"soa"`` (the
+        fused structure-of-arrays machine, DESIGN.md §11 — one component
+        steps the whole fabric over packed-int channel queues).  All
+        three are bit-identical; ``"soa"`` is the fast path.
     faults / fault_seed:
         Optional :class:`~repro.faults.FaultSpec` and the seed its
         deterministic fault events derive from (DESIGN.md §10).  An
@@ -112,9 +119,20 @@ class NocNetwork:
     def __init__(self, cfg: NocConfig, tiles: list[TileSpec] | None = None,
                  topology: Mesh2D | None = None, routing: str = "computed",
                  scoreboard=None, memory_map=None, always_step: bool = False,
-                 faults=None, fault_seed: int | None = None):
+                 faults=None, fault_seed: int | None = None,
+                 kernel: str | None = None):
         if routing not in ("computed", "table"):
             raise ValueError(f"routing must be 'computed' or 'table', got {routing!r}")
+        if kernel is None:
+            kernel = "always" if always_step else "activity"
+        elif kernel not in ("activity", "always", "soa"):
+            raise ValueError(
+                f"kernel must be 'activity', 'always', or 'soa', got {kernel!r}")
+        elif always_step and kernel != "always":
+            raise ValueError(
+                f"always_step=True conflicts with kernel={kernel!r}")
+        self.kernel = kernel
+        always_step = kernel == "always"
         if memory_map is not None and routing != "computed":
             raise ValueError(
                 "a custom memory map requires routing='computed'")
@@ -284,13 +302,20 @@ class NocNetwork:
         # is stalled before any consumer could pop it at t (both modes).
         if self._fault_controller is not None:
             self.sim.add(self._fault_controller)
-        for xp in self.xps:
-            self.sim.add(xp)
-        for built in self.tiles:
-            if built.dma is not None:
-                self.sim.add(built.dma)
-            if built.memory is not None:
-                self.sim.add(built.memory)
+        if kernel == "soa":
+            from repro.soa.fabric import SoaNocFabric
+
+            self._soa = SoaNocFabric(self)
+            self.sim.add(self._soa)
+        else:
+            self._soa = None
+            for xp in self.xps:
+                self.sim.add(xp)
+            for built in self.tiles:
+                if built.dma is not None:
+                    self.sim.add(built.dma)
+                if built.memory is not None:
+                    self.sim.add(built.memory)
 
     # ------------------------------------------------------------------
     # addressing helpers

@@ -22,6 +22,7 @@ the split is simulation-identical to a single call.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import replace
 
@@ -74,6 +75,16 @@ _DNN_WINDOWS = {
 _TRAIN_LIMIT = {False: 4_000_000, True: 2_500_000}
 
 
+def _kernel() -> str | None:
+    """Step-kernel override for scenario-driven runs.
+
+    ``REPRO_KERNEL=soa|activity|always`` switches every network a
+    scenario builds onto that kernel — results are bit-identical for any
+    value (tests assert this), so it is a pure speed/verification knob.
+    """
+    return os.environ.get("REPRO_KERNEL") or None
+
+
 def run_scenario(scenario: Scenario) -> Result:
     """Build, drive, and measure one scenario point.
 
@@ -99,7 +110,8 @@ def _run_uniform(sc: Scenario) -> Result:
 
     cfg = sc.topology.noc_config()
     tr = sc.traffic
-    net = NocNetwork(cfg, faults=sc.faults, fault_seed=sc.seed)
+    net = NocNetwork(cfg, faults=sc.faults, fault_seed=sc.seed,
+                     kernel=_kernel())
     uniform_random(net, load=tr.load, max_burst_bytes=tr.max_burst_bytes,
                    read_fraction=tr.read_fraction,
                    min_burst_bytes=tr.min_burst_bytes,
@@ -120,7 +132,8 @@ def _run_synthetic(sc: Scenario) -> Result:
     tr = sc.traffic
     pattern = PATTERNS[tr.pattern]
     net, _slaves = build_synthetic_network(cfg, pattern, faults=sc.faults,
-                                           fault_seed=sc.seed)
+                                           fault_seed=sc.seed,
+                                           kernel=_kernel())
     synthetic_traffic(net, pattern, load=tr.load,
                       max_burst_bytes=tr.max_burst_bytes,
                       read_fraction=tr.read_fraction,
@@ -247,7 +260,8 @@ def _run_baseline(sc: Scenario) -> Result:
 
     cfg = sc.topology.mesh_config()
     mesh = PacketMesh(cfg, injection_rate=sc.traffic.load, seed=sc.seed,
-                      faults=sc.faults, fault_seed=sc.seed)
+                      faults=sc.faults, fault_seed=sc.seed,
+                      kernel=_kernel())
     warmup, window = sc.measure.resolve()
     mesh.set_warmup(warmup)
     mesh.run(warmup + window, until=_watchdog(sc.measure))

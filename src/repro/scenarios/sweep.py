@@ -138,14 +138,36 @@ def _run_point(sc: Scenario) -> Result:
     return run_scenario(sc)
 
 
+def _run_chunk(scs: list[Scenario]) -> list:
+    """Run a batch of points inside one worker task.
+
+    Returns one ``("ok", result)`` / ``("err",)`` tag per point so a
+    single raising point costs only itself a serial retry, not the whole
+    chunk.  (A point that kills the worker still loses the chunk — the
+    parent's BrokenProcessPool handling retries all of it serially.)
+    """
+    out = []
+    for sc in scs:
+        try:
+            out.append(("ok", _run_point(sc)))
+        except Exception:
+            out.append(("err",))
+    return out
+
+
 def run_sweep(points: Sweep | list[Scenario], *, jobs: int = 1,
+              chunksize: int | None = None,
               out: str | Path | None = None) -> list[Result | None]:
     """Run every point; return results in point order.
 
     ``jobs > 1`` fans points out over a process pool.  Each Scenario is
     self-contained (its own seed), so parallel results are bit-identical
-    to serial.  With ``out`` set, scenario+result artifacts are written
-    there (``results.json``, ``results.csv``).
+    to serial.  ``chunksize`` batches that many points into each worker
+    task (default: ~4 tasks per worker), amortizing submission/pickle
+    overhead across points while keeping the pool's warm interpreters
+    busy; it only changes scheduling, never results.  With ``out`` set,
+    scenario+result artifacts are written there (``results.json``,
+    ``results.csv``).
 
     One bad point does not sink the sweep: a point that raises — or a
     worker that dies, which breaks the whole pool — is retried once,
@@ -157,6 +179,8 @@ def run_sweep(points: Sweep | list[Scenario], *, jobs: int = 1,
         points = points.points()
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if chunksize is not None and chunksize < 1:
+        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
     results: list[Result | None] = [None] * len(points)
     first_try_failures: list[int] = []
     if jobs == 1 or len(points) <= 1:
@@ -166,17 +190,30 @@ def run_sweep(points: Sweep | list[Scenario], *, jobs: int = 1,
             except Exception:
                 first_try_failures.append(i)
     else:
+        if chunksize is None:
+            # Aim for ~4 tasks per worker: large enough to amortize
+            # per-task IPC, small enough to balance uneven point costs.
+            chunksize = max(1, len(points) // (jobs * 4))
+        chunks = [list(range(i, min(i + chunksize, len(points))))
+                  for i in range(0, len(points), chunksize)]
         with ProcessPoolExecutor(max_workers=jobs,
                                  initializer=_worker_init) as pool:
-            futures = [pool.submit(_run_point, sc) for sc in points]
-            for i, future in enumerate(futures):
+            futures = [pool.submit(_run_chunk, [points[i] for i in idxs])
+                       for idxs in chunks]
+            for idxs, future in zip(chunks, futures):
                 try:
-                    results[i] = future.result()
+                    tagged = future.result()
                 except Exception:
                     # Includes BrokenProcessPool: a dead worker fails
-                    # every in-flight future, and all of them land in
-                    # the serial retry below.
-                    first_try_failures.append(i)
+                    # every in-flight future, and all their points land
+                    # in the serial retry below.
+                    first_try_failures.extend(idxs)
+                    continue
+                for i, tag in zip(idxs, tagged):
+                    if tag[0] == "ok":
+                        results[i] = tag[1]
+                    else:
+                        first_try_failures.append(i)
     failed: list[tuple[int, Exception]] = []
     for i in first_try_failures:
         # Direct run_scenario: in-process, so the crash seam (and any

@@ -1,0 +1,211 @@
+"""Occupancy-bitmask switch allocation for the packet baseline
+(DESIGN.md §11).
+
+The reference :meth:`~repro.baseline.router.Router.step` scans, for each
+of the 5 output ports, all ``5 × n_vcs`` input slots in rotated priority
+order — ``25 × n_vcs`` slot visits per router per cycle even when almost
+every buffer is empty, which is exactly where the baseline-mesh bench
+spends its time.
+
+:class:`SoaMeshKernel` keeps one int bitmask per router — bit
+``in_port * n_vcs + in_vc`` set iff that input buffer is non-empty — and
+iterates only the set bits, in the same rotated order, via
+``(mask rotated by start)`` bit tricks.  Since the reference scan's very
+first check skips empty buffers, visiting only non-empty slots in the
+same order grants exactly the same flits: bit-identity is structural,
+not coincidental.  Everything else (route state, VC ownership,
+wormhole/drop semantics, fault handling) runs the reference logic on the
+reference :class:`Router` objects, which remain the owners of all state.
+
+Empty routers cost one int test plus one "rotation debt" increment: the
+reference rotates every switch-allocation pointer by one on a grantless
+cycle, which is deferred here (and for the activity kernel's skipped
+gaps) and folded in before the next real allocation.
+"""
+
+from __future__ import annotations
+
+from repro.baseline.router import N_PORTS, P_LOCAL
+from repro.faults.runtime import degraded_pass
+
+
+class SoaMeshKernel:
+    """Fused mask-based stepper for all routers of a PacketMesh."""
+
+    def __init__(self, mesh):
+        self.mesh = mesh
+        self.routers = mesh.routers
+        self.n = len(mesh.routers)
+        self.n_vcs = n_vcs = mesh.cfg.n_vcs
+        self.buf_depth = mesh.cfg.buf_depth
+        self.total = total = N_PORTS * n_vcs
+        self.full = (1 << total) - 1
+        #: Per-router non-empty-slot bitmasks (bit = port * n_vcs + vc).
+        self.masks = [0] * self.n
+        #: Deferred sa-pointer rotations from grantless/skipped cycles.
+        self.debts = [0] * self.n
+        # Flat per-router slot arrays, same index order as the reference
+        # scan's divmod(idx, n_vcs).
+        self.bufs = [[r.buffers[p][v] for p in range(N_PORTS)
+                      for v in range(n_vcs)] for r in mesh.routers]
+        self.states = [[r.vc_state[p][v] for p in range(N_PORTS)
+                        for v in range(n_vcs)] for r in mesh.routers]
+        for node in range(self.n):
+            self.masks[node] = self._recompute(node)
+
+    def _recompute(self, node: int) -> int:
+        mask = 0
+        for slot, buf in enumerate(self.bufs[node]):
+            if buf:
+                mask |= 1 << slot
+        return mask
+
+    def advance_idle(self, cycles: int) -> None:
+        """Bulk-rotate every router's allocation state across skipped
+        quiet cycles (deferred; folded in before the next allocation)."""
+        debts = self.debts
+        for node in range(self.n):
+            debts[node] += cycles
+
+    # ------------------------------------------------------------------
+    def step_routers(self, now: int, route_fn, eject_fn, drop_fn) -> None:
+        """One allocation/traversal cycle for every router, in node
+        order — the fused replacement for the mesh's router loop."""
+        masks = self.masks
+        debts = self.debts
+        total = self.total
+        n_vcs = self.n_vcs
+        full = self.full
+        buf_depth = self.buf_depth
+        for node in range(self.n):
+            router = self.routers[node]
+            if router._dropping:
+                router._drain_dropped(now, drop_fn)
+                masks[node] = self._recompute(node)
+            mask = masks[node]
+            if not mask:
+                debts[node] += 1
+                continue
+            sa = router._sa_ptr
+            debt = debts[node]
+            if debt:
+                debts[node] = 0
+                for p in range(N_PORTS):
+                    sa[p] = (sa[p] + debt) % total
+            bufs = self.bufs[node]
+            states = self.states[node]
+            used = 0  # bitmask of input ports granted this cycle
+            dead = router.fault_dead
+            deg = router.fault_degraded
+            for out_port in range(N_PORTS):
+                start = sa[out_port]
+                # Set bits of `mask`, visited in rotated order from
+                # `start` — precisely the non-empty subsequence of the
+                # reference scan order.
+                rot = ((mask >> start) | (mask << (total - start))) & full
+                granted = False
+                while rot:
+                    low = rot & -rot
+                    rot ^= low
+                    idx = start + low.bit_length() - 1
+                    if idx >= total:
+                        idx -= total
+                    in_port = idx // n_vcs
+                    if (used >> in_port) & 1:
+                        continue
+                    buf = bufs[idx]
+                    arrived, flit = buf[0]
+                    if arrived >= now:
+                        continue  # only one hop per cycle
+                    state = states[idx]
+                    if state.dropping:
+                        continue  # packet lost at a dead egress; draining
+                    if state.out_port is None:
+                        if not flit.is_head:
+                            raise AssertionError(
+                                f"router {node}: body flit with no route "
+                                f"state on port {in_port} vc "
+                                f"{idx - in_port * n_vcs}")
+                        route = (P_LOCAL if flit.packet.dst == node
+                                 else route_fn(node, flit.packet.dst))
+                        if route != out_port:
+                            continue
+                        if out_port == P_LOCAL:
+                            state.out_port = P_LOCAL
+                            state.out_vc = 0
+                        else:
+                            if dead is not None and out_port in dead:
+                                # Dead egress, no alternate route: packet
+                                # lost here; body flits drain later.
+                                buf.popleft()
+                                if not buf:
+                                    mask &= ~(1 << idx)
+                                router.flits_dropped += 1
+                                if drop_fn is not None:
+                                    drop_fn(flit, now)
+                                used |= 1 << in_port
+                                if not flit.is_tail:
+                                    state.dropping = True
+                                    router._dropping += 1
+                                sa[out_port] = idx + 1 if idx + 1 < total else 0
+                                granted = True
+                                break
+                            neighbor = router.neighbors[out_port]
+                            if neighbor is None:
+                                raise AssertionError(
+                                    f"router {node}: route to unconnected "
+                                    f"port {out_port}")
+                            nb_port = router.neighbor_in_port[out_port]
+                            owners = router.vc_owner[out_port]
+                            nb_vc_bufs = neighbor.buffers[nb_port]
+                            out_vc = None
+                            for vc in range(n_vcs):
+                                if (owners[vc] is None
+                                        and len(nb_vc_bufs[vc]) < buf_depth):
+                                    out_vc = vc
+                                    break
+                            if out_vc is None:
+                                continue
+                            state.out_port = out_port
+                            state.out_vc = out_vc
+                            owners[out_vc] = (in_port, idx - in_port * n_vcs)
+                    elif state.out_port != out_port:
+                        continue
+                    if out_port == P_LOCAL:
+                        buf.popleft()
+                        if not buf:
+                            mask &= ~(1 << idx)
+                        eject_fn(flit, now)
+                    else:
+                        if deg is not None:
+                            factor = deg.get(out_port)
+                            if (factor is not None
+                                    and not degraded_pass(now, factor)):
+                                continue  # degraded link: not a pass cycle
+                        out_vc = state.out_vc
+                        neighbor = router.neighbors[out_port]
+                        nb_port = router.neighbor_in_port[out_port]
+                        nb_buf = neighbor.buffers[nb_port][out_vc]
+                        if len(nb_buf) >= buf_depth:
+                            continue
+                        buf.popleft()
+                        if not buf:
+                            mask &= ~(1 << idx)
+                        nb_buf.append((now, flit))
+                        masks[neighbor.node] |= 1 << (nb_port * n_vcs
+                                                      + out_vc)
+                    router.flits_routed += 1
+                    used |= 1 << in_port
+                    if flit.is_tail:
+                        if state.out_port != P_LOCAL:
+                            router.vc_owner[state.out_port][state.out_vc] \
+                                = None
+                        state.out_port = None
+                        state.out_vc = None
+                        state.dropping = False
+                    sa[out_port] = idx + 1 if idx + 1 < total else 0
+                    granted = True
+                    break
+                if not granted:
+                    sa[out_port] = start + 1 if start + 1 < total else 0
+            masks[node] = mask

@@ -1,0 +1,200 @@
+"""Packed-integer AXI channel queues for the SoA kernel (DESIGN.md §11).
+
+A :class:`SoaChannel` is a drop-in replacement for the
+:class:`~repro.sim.fifo.TimedFifo` behind an AXI W, B, or R channel.
+Instead of ``(ready_at, BeatObject)`` tuples it stores one plain int per
+beat, with the ready cycle packed into the high bits and the beat fields
+into the low bits:
+
+======= ==============================================================
+channel packed layout (low bit first)
+======= ==============================================================
+W       ``last:1 | nbytes:15 | ready`` (shift :data:`W_SHIFT`)
+B       ``resp:2 | id:16 | ready`` (shift :data:`B_SHIFT`)
+R       ``last:1 | resp:2 | nbytes:15 | id:16 | ready`` (shift
+        :data:`R_SHIFT`)
+======= ==============================================================
+
+The fused fabric stepper reads and writes the packed form directly; the
+object API (``push``/``peek``/``pop``/``drain``) is kept for the cold
+paths that still hand over beat objects (crossbar error responses, the
+error-W sink) and for tests/teardown, packing and unpacking at the
+boundary.  Field widths cover the full Table I space: ``id`` ≤ 16 bits,
+``nbytes`` ≤ 128 (1024-bit data width).
+
+AW/AR channels stay :class:`TimedFifo` instances — address beats are
+rare (one per burst), carry a rich payload, and the arbitration code
+consuming them is reused verbatim by the SoA fabric.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.axi.beats import BBeat, RBeat, WBeat
+
+#: Bit positions of the packed ``ready_at`` cycle, per channel kind.
+W_SHIFT = 16
+B_SHIFT = 18
+R_SHIFT = 34
+
+#: Masks for the payload (non-ready) bits.
+W_LOW_MASK = (1 << W_SHIFT) - 1
+B_LOW_MASK = (1 << B_SHIFT) - 1
+R_LOW_MASK = (1 << R_SHIFT) - 1
+
+_SHIFTS = {"w": W_SHIFT, "b": B_SHIFT, "r": R_SHIFT}
+
+
+def pack_w(ready: int, nbytes: int, last: bool | int) -> int:
+    return (ready << W_SHIFT) | (nbytes << 1) | (1 if last else 0)
+
+
+def pack_b(ready: int, bid: int, resp: int) -> int:
+    return (ready << B_SHIFT) | (bid << 2) | resp
+
+
+def pack_r(ready: int, rid: int, nbytes: int, resp: int,
+           last: bool | int) -> int:
+    return ((ready << R_SHIFT) | (rid << 18) | (nbytes << 3)
+            | (resp << 1) | (1 if last else 0))
+
+
+class SoaChannel:
+    """A bounded timed queue of packed beats (one int per beat).
+
+    Mirrors the :class:`~repro.sim.fifo.TimedFifo` contract the rest of
+    the system relies on: ``latency``-delayed visibility, capacity
+    backpressure, lifetime ``pushed``/``popped`` counters (link monitors
+    and the energy model read them), a shared occupancy cell, and
+    ``stall_head`` for degraded-link fault injection.  There is no
+    consumer-wake spine — the SoA machine steps every producer and
+    consumer itself.
+    """
+
+    __slots__ = ("kind", "capacity", "latency", "name", "_q", "_shift",
+                 "pushed", "popped", "occ", "consumer")
+
+    def __init__(self, kind: str, capacity: int = 2, latency: int = 1,
+                 name: str = ""):
+        if kind not in _SHIFTS:
+            raise ValueError(f"kind must be one of 'w'/'b'/'r', got {kind!r}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        self.kind = kind
+        self.capacity = capacity
+        self.latency = latency
+        self.name = name
+        self._shift = _SHIFTS[kind]
+        self._q: deque[int] = deque()
+        self.pushed = 0
+        self.popped = 0
+        self.occ: list[int] | None = None
+        self.consumer = None  # API compat; never woken (see class docs)
+
+    @classmethod
+    def from_fifo(cls, fifo, kind: str) -> "SoaChannel":
+        """Replace an (empty) TimedFifo, inheriting its wiring."""
+        if len(fifo) != 0:
+            raise ValueError(
+                f"cannot convert non-empty channel {fifo.name!r}")
+        ch = cls(kind, fifo.capacity, fifo.latency, fifo.name)
+        ch.occ = fifo.occ
+        ch.pushed = fifo.pushed
+        ch.popped = fifo.popped
+        return ch
+
+    # -- TimedFifo-compatible surface ----------------------------------
+    def track_occupancy(self, cell: list[int]) -> None:
+        self.occ = cell
+        if self._q:
+            cell[0] += 1
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"SoaChannel({self.kind}, {self.name or 'anon'}, "
+                f"{len(self._q)}/{self.capacity})")
+
+    def can_push(self) -> bool:
+        return len(self._q) < self.capacity
+
+    def _pack(self, item, ready: int) -> int:
+        kind = self.kind
+        if kind == "w":
+            return (ready << W_SHIFT) | (item.nbytes << 1) | (
+                1 if item.last else 0)
+        if kind == "b":
+            return (ready << B_SHIFT) | (item.id << 2) | item.resp
+        return ((ready << R_SHIFT) | (item.id << 18) | (item.nbytes << 3)
+                | (item.resp << 1) | (1 if item.last else 0))
+
+    def _unpack(self, packed: int):
+        from repro.axi.types import Resp
+
+        kind = self.kind
+        if kind == "w":
+            return WBeat(bool(packed & 1), (packed >> 1) & 0x7FFF)
+        if kind == "b":
+            return BBeat((packed >> 2) & 0xFFFF, Resp(packed & 3))
+        return RBeat((packed >> 18) & 0xFFFF, bool(packed & 1),
+                     (packed >> 3) & 0x7FFF, Resp((packed >> 1) & 3))
+
+    def push(self, item, now: int) -> None:
+        """Object-compat push: packs ``item`` (cold paths only)."""
+        q = self._q
+        if len(q) >= self.capacity:
+            raise OverflowError(f"push into full channel {self.name!r}")
+        if not q:
+            occ = self.occ
+            if occ is not None:
+                occ[0] += 1
+        q.append(self._pack(item, now + self.latency))
+        self.pushed += 1
+
+    def peek(self, now: int):
+        """Object-compat peek (cold paths only)."""
+        q = self._q
+        if q:
+            packed = q[0]
+            if packed >> self._shift <= now:
+                return self._unpack(packed)
+        return None
+
+    def pop(self, now: int):
+        """Object-compat pop (cold paths only)."""
+        q = self._q
+        if not q:
+            raise LookupError(f"pop from empty channel {self.name!r}")
+        packed = q[0]
+        if packed >> self._shift > now:
+            raise LookupError(
+                f"pop from channel {self.name!r} before head is visible")
+        q.popleft()
+        self.popped += 1
+        if not q:
+            occ = self.occ
+            if occ is not None:
+                occ[0] -= 1
+        return self._unpack(packed)
+
+    def stall_head(self, now: int) -> None:
+        """Push a currently-visible head one cycle into the future (the
+        degraded-link injection point; mirrors TimedFifo.stall_head)."""
+        q = self._q
+        if q:
+            shift = self._shift
+            packed = q[0]
+            if packed >> shift <= now:
+                q[0] = ((now + 1) << shift) | (packed & ((1 << shift) - 1))
+
+    def drain(self) -> Iterator:
+        """Yield and remove all beats regardless of visibility (teardown)."""
+        if self._q and self.occ is not None:
+            self.occ[0] -= 1
+        while self._q:
+            yield self._unpack(self._q.popleft())

@@ -1,0 +1,578 @@
+"""The fused SoA machine for a :class:`~repro.noc.network.NocNetwork`.
+
+One :class:`SoaNocFabric` replaces every crosspoint, DMA engine, and
+memory slave in the simulator's component list (DESIGN.md §11).  Its
+``step`` walks the same per-cycle phases the per-object kernels run —
+for each XP in registration order: B-forward, R-forward, error
+responses, W-move, AW/AR arbitration; then for each tile in registration
+order: DMA response sink / W stream / burst issue and memory accept /
+emit — but over :class:`~repro.soa.channel.SoaChannel` packed-int
+queues, with no per-component dispatch, no FIFO consumer wakes, and no
+beat-object allocation on the W/B/R hot paths.
+
+The packed representation also buys branch-free timing math: a head is
+visible exactly when ``packed < (now + 1) << SHIFT`` (the ready cycle
+lives above every payload bit), and a push is one addition of a
+pre-shifted latency.  All occupancy cells, queues, and destination
+tables are prebound into flat per-XP tuples at construction, so the
+per-cycle cost of an idle crosspoint is a handful of int reads.
+
+All protocol state stays in the original objects (``AxiCrossbar`` order
+/ route queues and remap tables, ``DmaEngine`` / ``MemorySlave``
+bookkeeping), so every observable — ``idle()``, counters, link
+monitors, fault reports — reads exactly as in the other kernels, and
+the cold paths (AW/AR arbitration, error termination, burst issue) are
+*reused* from those objects rather than duplicated.
+
+Bit-identity with the always-step reference holds because:
+
+* every inter-component FIFO has latency ≥ 1, and the machine preserves
+  the producer/consumer relative step order of the original
+  registration order (XPs by index, then endpoints in tile order), so
+  every pop-before-push capacity interaction is unchanged;
+* per-XP phase order and per-endpoint internal order are verbatim;
+* response-mux rotation still derives from ``now``; and
+* the packed channel entries are value-identical encodings of the beat
+  tuples they replace.
+
+tests/test_soa.py pins this with the golden-equivalence methodology
+(seeds × configs × both fabrics × fault scenarios).
+"""
+
+from __future__ import annotations
+
+from repro.axi.types import Resp
+from repro.endpoints.memory import _REmitter
+from repro.sim.kernel import Component
+from repro.soa.channel import B_SHIFT, R_SHIFT, W_SHIFT, SoaChannel
+
+_RESP_SLVERR = Resp.SLVERR
+_RESP_OKAY = Resp.OKAY
+
+
+def _dst_entry(link, attr, shift):
+    """(queue, capacity, latency << shift, occ cell, channel) for one
+    forwarding destination, or None for an unconnected port."""
+    if link is None:
+        return None
+    ch = getattr(link, attr)
+    if ch.occ is None:  # pragma: no cover - guarded by construction
+        raise AssertionError(f"channel {ch.name!r} has no occupancy cell")
+    return (ch._q, ch.capacity, ch.latency << shift, ch.occ, ch)
+
+
+class SoaNocFabric(Component):
+    """The single fused component stepping an entire PATRONoC fabric."""
+
+    name = "soa-fabric"
+
+    def __init__(self, net):
+        self._net = net
+        # -- flatten the hot channels -----------------------------------
+        # Links are empty at construction time; AW/AR stay TimedFifos
+        # (address beats are rare and the arbitration code is reused).
+        for link in net.links:
+            link.w = SoaChannel.from_fifo(link.w, "w")
+            link.b = SoaChannel.from_fifo(link.b, "b")
+            link.r = SoaChannel.from_fifo(link.r, "r")
+        # Rebuild each XP's prebound scan structures over the new queues.
+        for xp in net.xps:
+            xp._refresh_port_lists()
+        # -- per-XP blocks ----------------------------------------------
+        # blk: (xp, occ_aw, occ_w, occ_ar, occ_b, occ_r,
+        #       b_qs, b_scan, b_dst, r_qs, r_scan, r_dst, w_src, w_dst)
+        # *_qs are bare deques for cheap emptiness tests; *_scan carries
+        # (j, channel, remap, table) unpacked only when a head is ready.
+        xps = []
+        for xp in net.xps:
+            b_qs = [t[1]._q for t in xp._b_scan]
+            b_scan = [(t[0], t[1], t[3], t[4]) for t in xp._b_scan]
+            r_qs = [t[1]._q for t in xp._r_scan]
+            r_scan = [(t[0], t[1], t[3], t[4]) for t in xp._r_scan]
+            b_dst = [_dst_entry(l, "b", B_SHIFT) for l in xp.in_links]
+            r_dst = [_dst_entry(l, "r", R_SHIFT) for l in xp.in_links]
+            w_src = [(l.w._q, l.w) if l is not None else None
+                     for l in xp.in_links]
+            w_dst = [_dst_entry(l, "w", W_SHIFT) for l in xp.out_links]
+            xps.append((xp, xp._occ_aw, xp._occ_w, xp._occ_ar,
+                        xp._occ_b, xp._occ_r, b_qs, b_scan, b_dst,
+                        r_qs, r_scan, r_dst, w_src, w_dst))
+        self._xps = xps
+        # -- endpoint blocks in registration (tile) order ---------------
+        eps = []
+        dmas = []
+        for built in net.tiles:
+            dma = built.dma
+            if dma is not None:
+                link = dma.link
+                # (dma, b ch, b q, r ch, r q, w ch, w q, w cap,
+                #  w lat << 16, w occ cell, w_emit, read meter)
+                eps.append(("d", dma._occ_resp, (
+                    dma, link.b, link.b._q, link.r, link.r._q,
+                    link.w, link.w._q, link.w.capacity,
+                    link.w.latency << W_SHIFT, link.w.occ,
+                    dma._w_emit, dma.read_meter)))
+                dmas.append(dma)
+                # Redirect external wakes (``submit``) to the machine:
+                # the engine itself is never registered with the kernel.
+                dma.wake = self.wake
+            mem = built.memory
+            if mem is not None:
+                link = mem.link
+                # (mem, aw fifo, w ch, w q, ar fifo,
+                #  b ch, b q, b cap, b lat << 18, b occ,
+                #  r ch, r q, r cap, r lat << 34, r occ)
+                eps.append(("m", mem._occ_req, (
+                    mem, link.aw, link.w, link.w._q, link.ar,
+                    link.b, link.b._q, link.b.capacity,
+                    link.b.latency << B_SHIFT, link.b.occ,
+                    link.r, link.r._q, link.r.capacity,
+                    link.r.latency << R_SHIFT, link.r.occ)))
+        self._eps = eps
+        self._dmas = dmas
+        self._last_now = -1
+
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> bool:
+        busy = False
+        now1 = now + 1
+        w_th = now1 << W_SHIFT   # head visible iff packed < threshold
+        b_th = now1 << B_SHIFT
+        r_th = now1 << R_SHIFT
+        now_w = now << W_SHIFT   # push ready = now_x + (latency << shift)
+        now_b = now << B_SHIFT
+        now_r = now << R_SHIFT
+        # ---- crosspoints, registration order --------------------------
+        # Phase order per XP mirrors AxiCrossbar.step exactly:
+        # B-forward, R-forward, error responses, W-move (+ error-W sink),
+        # AW arbitration, AR arbitration.
+        for blk in self._xps:
+            occ_b = blk[4]
+            remaining = occ_b[0]
+            b_used = 0
+            xp = blk[0]
+            if remaining:
+                busy = True
+                qs = blk[6]
+                n = len(qs)
+                if remaining == 1:
+                    idx = xp._b_hot
+                    if idx >= n:
+                        idx = 0
+                else:
+                    idx = now % n
+                b_dst = blk[8]
+                for _ in range(n):
+                    pos = idx
+                    q = qs[idx]
+                    idx += 1
+                    if idx == n:
+                        idx = 0
+                    if not q:
+                        continue
+                    remaining -= 1
+                    xp._b_hot = pos
+                    packed = q[0]
+                    if packed < b_th:
+                        scan = blk[7][pos]
+                        table = scan[3]
+                        rid = (packed >> 2) & 0xFFFF
+                        entry = table[rid]
+                        i = entry[0]
+                        if not (b_used >> i) & 1:
+                            dq, cap, lat, occ_dst, dst = b_dst[i]
+                            if len(dq) < cap:
+                                oid = entry[1]
+                                q.popleft()
+                                src = scan[1]
+                                src.popped += 1
+                                if not q:
+                                    occ_b[0] -= 1
+                                # inlined IdRemapper.release(rid)
+                                entry[2] -= 1
+                                if entry[2] == 0:
+                                    remap = scan[2]
+                                    table[rid] = None
+                                    remap._n_used -= 1
+                                    del remap._by_key[(i, oid)]
+                                    remap._free.append(rid)
+                                elif entry[2] < 0:
+                                    raise AssertionError(
+                                        f"double release of remapped id "
+                                        f"{rid}")
+                                xp._wr_inflight[scan[0]] -= 1
+                                # inlined _retire_dest(wr_dest[i], oid, j)
+                                dmap = xp._wr_dest[i]
+                                dentry = dmap[oid]
+                                if dentry[0] != scan[0]:
+                                    raise AssertionError(
+                                        f"B for id {oid} from egress "
+                                        f"{scan[0]}, sent to {dentry[0]}")
+                                dentry[1] -= 1
+                                if dentry[1] == 0:
+                                    del dmap[oid]
+                                if not dq:
+                                    occ_dst[0] += 1
+                                dq.append(now_b + lat
+                                          | (oid << 2) | (packed & 3))
+                                dst.pushed += 1
+                                b_used |= 1 << i
+                    if not remaining:
+                        break
+            # -- forward R responses (round-robin from now % n) ---------
+            occ_r = blk[5]
+            remaining = occ_r[0]
+            r_used = 0
+            if remaining:
+                busy = True
+                qs = blk[9]
+                n = len(qs)
+                if remaining == 1:
+                    idx = xp._r_hot
+                    if idx >= n:
+                        idx = 0
+                else:
+                    idx = now % n
+                r_dst = blk[11]
+                for _ in range(n):
+                    pos = idx
+                    q = qs[idx]
+                    idx += 1
+                    if idx == n:
+                        idx = 0
+                    if not q:
+                        continue
+                    remaining -= 1
+                    xp._r_hot = pos
+                    packed = q[0]
+                    if packed < r_th:
+                        scan = blk[10][pos]
+                        table = scan[3]
+                        rid = (packed >> 18) & 0xFFFF
+                        entry = table[rid]
+                        i = entry[0]
+                        if not (r_used >> i) & 1:
+                            dq, cap, lat, occ_dst, dst = r_dst[i]
+                            if len(dq) < cap:
+                                oid = entry[1]
+                                q.popleft()
+                                src = scan[1]
+                                src.popped += 1
+                                if not q:
+                                    occ_r[0] -= 1
+                                if packed & 1:  # last beat retires the id
+                                    # inlined IdRemapper.release(rid)
+                                    entry[2] -= 1
+                                    if entry[2] == 0:
+                                        remap = scan[2]
+                                        table[rid] = None
+                                        remap._n_used -= 1
+                                        del remap._by_key[(i, oid)]
+                                        remap._free.append(rid)
+                                    elif entry[2] < 0:
+                                        raise AssertionError(
+                                            f"double release of remapped "
+                                            f"id {rid}")
+                                    xp._rd_inflight[scan[0]] -= 1
+                                    # inlined _retire_dest
+                                    dmap = xp._rd_dest[i]
+                                    dentry = dmap[oid]
+                                    if dentry[0] != scan[0]:
+                                        raise AssertionError(
+                                            f"R for id {oid} from egress "
+                                            f"{scan[0]}, sent to "
+                                            f"{dentry[0]}")
+                                    dentry[1] -= 1
+                                    if dentry[1] == 0:
+                                        del dmap[oid]
+                                if not dq:
+                                    occ_dst[0] += 1
+                                dq.append(now_r + lat | (oid << 18)
+                                          | (packed & 0x3FFFF))
+                                dst.pushed += 1
+                                r_used |= 1 << i
+                    if not remaining:
+                        break
+            # -- error responses / W-move / AW / AR ---------------------
+            if xp._err_pending:
+                busy = True
+                xp._error_responses(now, b_used, r_used)
+            if blk[2][0]:  # occ_w
+                busy = True
+                w_busy = xp._w_busy
+                if w_busy or xp._err_w:
+                    w_used = 0
+                    w_order = xp._w_order
+                    w_routes = xp._w_route
+                    w_src = blk[12]
+                    w_dst = blk[13]
+                    occ_w = blk[2]
+                    for bidx in range(len(w_busy) - 1, -1, -1):
+                        j = w_busy[bidx]
+                        order = w_order[j]
+                        entry = order[0]
+                        i = entry[0]
+                        route_q = w_routes[i]
+                        if not route_q or route_q[0][0] != j:
+                            continue  # ingress owes an older burst first
+                        q, src = w_src[i]
+                        if q:
+                            packed = q[0]
+                            if packed < w_th:
+                                dq, cap, lat, occ_dst, dst = w_dst[j]
+                                if len(dq) < cap:
+                                    q.popleft()
+                                    src.popped += 1
+                                    if not q:
+                                        occ_w[0] -= 1
+                                    if not dq:
+                                        occ_dst[0] += 1
+                                    dq.append(now_w + lat
+                                              | (packed & 0xFFFF))
+                                    dst.pushed += 1
+                                    w_used |= 1 << i
+                                    entry[1] -= 1
+                                    if packed & 1:  # burst's last beat
+                                        if entry[1] != 0:
+                                            raise AssertionError(
+                                                f"{xp.name}: W burst length "
+                                                f"mismatch at egress {j} "
+                                                f"({entry[1]} beats "
+                                                f"unaccounted)")
+                                        order.popleft()
+                                        route_q.popleft()
+                                        if not order:
+                                            del w_busy[bidx]
+                    if xp._err_w:
+                        xp._sink_error_w(now, w_used)
+            if blk[1][0]:  # occ_aw
+                busy = True
+                xp._arbitrate_aw(now)
+            if blk[3][0]:  # occ_ar
+                busy = True
+                xp._arbitrate_ar(now)
+        # ---- endpoints, registration (tile) order ---------------------
+        for kind, cell, blk in self._eps:
+            if kind == "d":
+                dma = blk[0]
+                if cell[0]:  # responses waiting: sink one B and one R
+                    busy = True
+                    b_q = blk[2]
+                    if b_q and b_q[0] < b_th:
+                        packed = b_q.popleft()
+                        blk[1].popped += 1
+                        if not b_q:
+                            cell[0] -= 1
+                        dma._complete(dma._wr_out, dma._wr_free,
+                                      (packed >> 2) & 0xFFFF, packed & 3, now)
+                    r_q = blk[4]
+                    if r_q and r_q[0] < r_th:
+                        packed = r_q.popleft()
+                        blk[3].popped += 1
+                        if not r_q:
+                            cell[0] -= 1
+                        resp = (packed >> 1) & 3
+                        if not resp:  # error beats carry no payload credit
+                            nbytes = (packed >> 3) & 0x7FFF
+                            meter = blk[11]
+                            meter.bytes_total += nbytes
+                            if now >= meter.warmup_cycles:
+                                meter.bytes_measured += nbytes
+                            dma.bytes_read += nbytes
+                        rid = (packed >> 18) & 0xFFFF
+                        entry = dma._rd_out.get(rid)
+                        if entry is None:
+                            raise AssertionError(
+                                f"{dma.name}: R beat for unknown id {rid}")
+                        entry[2] -= 1
+                        if (packed & 1) != (entry[2] == 0):
+                            raise AssertionError(
+                                f"{dma.name}: R burst length mismatch on "
+                                f"id {rid}")
+                        if packed & 1:
+                            dma._complete(dma._rd_out, dma._rd_free, rid,
+                                          resp, now)
+                w_emit = blk[10]
+                if w_emit:  # stream one W beat in AW order
+                    busy = True
+                    w_q = blk[6]
+                    if len(w_q) < blk[7]:
+                        e = w_emit[0]
+                        k = e.issued
+                        e.issued = k + 1
+                        if k == e.beats - 1:
+                            nbytes = e.last if e.beats > 1 else e.first
+                            lastbit = 1
+                        elif k == 0:
+                            nbytes = e.first
+                            lastbit = 0
+                        else:
+                            nbytes = e.mid
+                            lastbit = 0
+                        if not w_q:
+                            blk[9][0] += 1
+                        w_q.append(now_w + blk[8] | (nbytes << 1) | lastbit)
+                        blk[5].pushed += 1
+                        if e.issued >= e.beats:
+                            w_emit.popleft()
+                # Issue at most one burst per cycle (cold path reused).
+                if (now >= dma._idle_until
+                        and (dma._cur is not None or dma._pending)):
+                    busy = True
+                    dma._issue(now)
+            else:
+                mem = blk[0]
+                w_expect = mem._w_expect
+                if cell[0] or w_expect:
+                    busy = True
+                    # accept one AW, bounded by open write transactions
+                    q = blk[1]._q
+                    if (q and q[0][0] <= now
+                            and len(w_expect) + len(mem._b_queue)
+                            < mem.max_outstanding):
+                        aw = blk[1].pop(now)
+                        fm = mem.fault_model
+                        corrupt = (fm is not None
+                                   and fm.corrupt(aw.src, aw.beats))
+                        w_expect.append([aw.id, aw.beats, aw.nbytes,
+                                         aw.nbytes, aw.beats, corrupt])
+                    # accept one W beat for an already-accepted AW
+                    if w_expect:
+                        w_q = blk[3]
+                        if w_q and w_q[0] < w_th:
+                            packed = w_q.popleft()
+                            blk[2].popped += 1
+                            if not w_q:
+                                cell[0] -= 1
+                            nbytes = (packed >> 1) & 0x7FFF
+                            head = w_expect[0]
+                            head[1] -= 1
+                            head[2] -= nbytes
+                            if not head[5]:  # corrupted payload: no credit
+                                meter = mem.write_meter
+                                meter.bytes_total += nbytes
+                                if now >= meter.warmup_cycles:
+                                    meter.bytes_measured += nbytes
+                                mem.bytes_written += nbytes
+                            if packed & 1:
+                                if head[1] != 0 or head[2] != 0:
+                                    raise AssertionError(
+                                        f"{mem.name}: burst accounting broke "
+                                        f"on id {head[0]}: {head[1]} beats / "
+                                        f"{head[2]} bytes left")
+                                w_expect.popleft()
+                                mem._b_queue.append((
+                                    now + mem.latency, head[0],
+                                    _RESP_SLVERR if head[5] else _RESP_OKAY))
+                                mem.bursts_written += 1
+                                if mem.scoreboard is not None:
+                                    mem.scoreboard.record_write(
+                                        mem.endpoint, head[0], head[3],
+                                        head[4], now)
+                            elif head[1] <= 0:
+                                raise AssertionError(
+                                    f"{mem.name}: more W beats than AW "
+                                    f"announced on id {head[0]}")
+                    # accept one AR, bounded by open read jobs
+                    q = blk[4]._q
+                    if (q and q[0][0] <= now
+                            and len(mem._r_jobs) < mem.max_outstanding):
+                        ar = blk[4].pop(now)
+                        fm = mem.fault_model
+                        resp = (_RESP_SLVERR if fm is not None
+                                and fm.corrupt(ar.src, ar.beats)
+                                else _RESP_OKAY)
+                        mem._r_jobs.append((
+                            now + mem.latency,
+                            _REmitter(ar.id, ar.addr, ar.beats, ar.nbytes,
+                                      mem.beat_bytes, resp)))
+                b_queue = mem._b_queue
+                r_jobs = mem._r_jobs
+                if b_queue or r_jobs:
+                    busy = True
+                    # emit one B per cycle
+                    if b_queue and b_queue[0][0] <= now:
+                        b_q = blk[6]
+                        if len(b_q) < blk[7]:
+                            _, bid, resp = b_queue.popleft()
+                            if not b_q:
+                                blk[9][0] += 1
+                            b_q.append(now_b + blk[8] | (bid << 2) | resp)
+                            blk[5].pushed += 1
+                    # emit one R beat per cycle (jobs strictly in order)
+                    if r_jobs and r_jobs[0][0] <= now:
+                        r_q = blk[11]
+                        if len(r_q) < blk[12]:
+                            e = r_jobs[0][1]
+                            k = e.issued
+                            e.issued = k + 1
+                            if k == e.beats - 1:
+                                nbytes = e.last if e.beats > 1 else e.first
+                                lastbit = 1
+                            elif k == 0:
+                                nbytes = e.first
+                                lastbit = 0
+                            else:
+                                nbytes = e.mid
+                                lastbit = 0
+                            if not r_q:
+                                blk[14][0] += 1
+                            r_q.append(now_r + blk[13] | (e.rid << 18)
+                                       | (nbytes << 3) | (e.resp << 1)
+                                       | lastbit)
+                            blk[10].pushed += 1
+                            if e.issued >= e.beats:
+                                r_jobs.popleft()
+                                mem.bursts_read += 1
+                                if mem.scoreboard is not None:
+                                    mem.scoreboard.record_read(
+                                        mem.endpoint, e.rid, now)
+        self._last_now = now
+        # Report *post-step* quietness, exactly like the per-object
+        # kernels: when this cycle's work emptied everything, the machine
+        # retires this cycle (the scan early-outs on the first occupied
+        # cell, so it is near-free while loaded).
+        if busy:
+            return self._quiet_scan(now)
+        return self._endpoints_settled(now)
+
+    # ------------------------------------------------------------------
+    def _quiet_scan(self, now: int) -> bool:
+        for blk in self._xps:
+            if (blk[1][0] or blk[2][0] or blk[3][0] or blk[4][0]
+                    or blk[5][0] or blk[0]._err_pending):
+                return False
+        for kind, cell, blk in self._eps:
+            if cell[0]:
+                return False
+            if kind == "d":
+                if blk[10]:  # W beats still streaming
+                    return False
+            else:
+                mem = blk[0]
+                if mem._w_expect or mem._b_queue or mem._r_jobs:
+                    return False
+        return self._endpoints_settled(now)
+
+    def _endpoints_settled(self, now: int) -> bool:
+        """With every gate closed, only a DMA waiting out its descriptor
+        gap can still owe work (anything else in flight keeps a channel
+        occupancy cell, an error queue, or a memory queue non-empty,
+        which keeps the machine busy)."""
+        for dma in self._dmas:
+            if dma._pending or dma._cur is not None:
+                if dma._idle_until <= now + 1:
+                    return False
+        return True
+
+    def quiet(self) -> bool:
+        return self._quiet_scan(self._last_now)
+
+    def next_event(self, now: int) -> int | None:
+        wake = None
+        for dma in self._dmas:
+            if dma._pending or dma._cur is not None:
+                due = dma._idle_until
+                if wake is None or due < wake:
+                    wake = due
+        return wake

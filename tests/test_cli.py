@@ -51,6 +51,13 @@ class TestRun:
         assert cli.main(["run", "fig2", "--seed", "5"]) == 0
         assert "34%" in capsys.readouterr().out
 
+    def test_profile_flag_prints_cprofile_table(self, capsys):
+        assert cli.main(["run", "fig2", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out  # pstats column header
+        assert "function calls" in out
+        assert "[fig2 completed in" in out  # normal output still present
+
     def test_run_all_prints_per_experiment_timing_and_summary(
             self, monkeypatch, capsys):
         subset = {k: experiments.EXPERIMENTS[k] for k in ("table1", "power")}
@@ -94,3 +101,12 @@ class TestSweep:
         assert cli.main(["sweep", str(spec)]) == 0
         out = capsys.readouterr().out
         assert "GiB/s" in out
+
+    def test_chunksize_flag_plumbed_through(self, tmp_path, capsys):
+        # Equivalence of chunked vs serial results is asserted in
+        # tests/test_soa.py; this only checks the CLI plumbing.
+        spec = tmp_path / "spec.json"
+        spec.write_text(self.SPEC)
+        assert cli.main(["sweep", str(spec), "--jobs", "2",
+                         "--chunksize", "2"]) == 0
+        assert "2 point(s), jobs=2" in capsys.readouterr().out

@@ -1,8 +1,9 @@
-"""Golden-equivalence: the activity-driven kernel must produce results
-bit-identical to the reference always-step kernel (DESIGN.md §2).
+"""Golden-equivalence: the activity-driven and SoA kernels must produce
+results bit-identical to the reference always-step kernel (DESIGN.md §2
+and §11).
 
-These tests run the same traffic on the same seeds through both kernel
-modes and require exact equality of every observable: delivered-payload
+These tests run the same traffic on the same seeds through every kernel
+mode and require exact equality of every observable: delivered-payload
 throughput, per-DMA latency statistics, completed transfers, byte
 counts, protocol counters, and the exact drain cycle.
 """
@@ -26,10 +27,11 @@ RUN_CYCLES = 1200
 
 
 def observe(cfg: NocConfig, traffic_kwargs: dict, seed: int,
-            always_step: bool, faults: FaultSpec | None = None):
+            always_step: bool | None = None, faults: FaultSpec | None = None,
+            kernel: str | None = None):
     """Run, quiesce, drain; return every simulation observable."""
-    net = NocNetwork(cfg, always_step=always_step, faults=faults,
-                     fault_seed=seed)
+    net = NocNetwork(cfg, always_step=bool(always_step), faults=faults,
+                     fault_seed=seed, kernel=kernel)
     traffic = uniform_random(net, seed=seed, **traffic_kwargs).install()
     net.run(RUN_CYCLES)
     mid_throughput = net.aggregate_throughput_gib_s()
@@ -54,16 +56,17 @@ def observe(cfg: NocConfig, traffic_kwargs: dict, seed: int,
     }
 
 
+@pytest.mark.parametrize("kernel", ["activity", "soa"])
 @pytest.mark.parametrize("seed", SEEDS)
 @pytest.mark.parametrize("name", sorted(CONFIGS))
-def test_activity_mode_matches_always_step(name, seed):
+def test_kernel_matches_always_step(name, seed, kernel):
     cfg, traffic_kwargs = CONFIGS[name]
-    activity = observe(cfg, traffic_kwargs, seed, always_step=False)
+    candidate = observe(cfg, traffic_kwargs, seed, kernel=kernel)
     reference = observe(cfg, traffic_kwargs, seed, always_step=True)
     # Compare field by field for a readable diff on failure; values must
     # be bit-identical (== on floats, no approx).
     for key in reference:
-        assert activity[key] == reference[key], key
+        assert candidate[key] == reference[key], key
 
 
 @pytest.mark.parametrize("always_step", [False, True])
