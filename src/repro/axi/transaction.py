@@ -45,12 +45,10 @@ class Transfer:
     _bursts_left: int = field(default=0, init=False, repr=False)
     _split_done: bool = field(default=False, init=False, repr=False)
     _start_cycle: int = field(default=0, init=False, repr=False)
-    # Fault-recovery scratch state (DESIGN.md §10): error seen on any
-    # constituent burst, retransmission attempts so far, and the cycle
-    # the first attempt started (bounds the retry timeout).
+    # Fault-recovery scratch state (DESIGN.md §10): a constituent burst
+    # exhausted its retransmission budget (per-burst retry bookkeeping
+    # itself lives in the DMA's outstanding tables).
     _failed: bool = field(default=False, init=False, repr=False)
-    _retries: int = field(default=0, init=False, repr=False)
-    _first_start: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.nbytes <= 0:

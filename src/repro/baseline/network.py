@@ -139,10 +139,14 @@ class PacketMesh(Component):
             self._soa_local_bit = 1 << (P_LOCAL * cfg.n_vcs)
         else:
             self._soa = None
-        self._route_fn = (self._route_fault_aware
-                          if self._faults is not None
-                          and self._faults.recovery == "reroute"
-                          else self._route)
+        self._route_fn = self._route
+        #: Escape-VC adaptive mode (recovery="reroute"): heads get both
+        #: productive egresses and the routers keep VC 0 strictly XY
+        #: (Router._adaptive_candidate; deadlock-free, DESIGN.md §10).
+        self._adaptive_fn = (self._productive_ports
+                             if self._faults is not None
+                             and self._faults.recovery == "reroute"
+                             else None)
 
     # ------------------------------------------------------------------
     def _route(self, node: int, dst: int) -> int:
@@ -155,39 +159,22 @@ class PacketMesh(Component):
             return P_S if dy > cy else P_N
         return P_LOCAL
 
-    def _route_fault_aware(self, node: int, dst: int) -> int:
-        """XY routing that sidesteps dead links: when the XY-preferred
-        egress at ``node`` is dead, take the other *productive*
-        dimension if it is alive (minimal adaptive routing; flits are
-        never misrouted away from the destination).  With no live
-        productive egress the preferred port is returned and the packet
-        drops there.
+    def _productive_ports(self, node: int, dst: int) -> tuple[int, int]:
+        """Both minimal egresses toward ``dst``: ``(xy_port, other)``.
 
-        ``reroute_decisions`` counts deviations approximately: the
-        router may evaluate the route more than once per granted head
-        (once per output-port scan), so the stat counts route-function
-        invocations that dodged a dead link, not rerouted packets.
-        Note: adaptivity breaks XY's acyclic channel-dependency proof;
-        under heavy load around a dead region the baseline can deadlock
-        like real minimal-adaptive wormhole NoCs without extra escape
-        VCs (DESIGN.md §10).
+        ``xy_port`` is the strict-XY choice (X first); ``other`` is the
+        remaining productive dimension, or -1 when only one dimension is
+        unresolved.  Flits are never misrouted away from the
+        destination, which is what keeps the escape layer's dependency
+        graph acyclic (a resolved dimension stays resolved).
         """
-        preferred = self._route(node, dst)
-        if preferred == P_LOCAL:
-            return P_LOCAL
-        dead = self.routers[node].fault_dead
-        if dead is None or preferred not in dead:
-            return preferred
         cx, cy = self.topology.coords(node)
         dx, dy = self.topology.coords(dst)
-        if preferred in (P_E, P_W):
-            alt = (P_S if dy > cy else P_N) if cy != dy else None
-        else:
-            alt = (P_E if dx > cx else P_W) if cx != dx else None
-        if alt is not None and alt not in dead:
-            self._fault_stats.reroute_decisions += 1
-            return alt
-        return preferred
+        if cx != dx:
+            xy = P_E if dx > cx else P_W
+            other = (P_S if dy > cy else P_N) if cy != dy else -1
+            return xy, other
+        return (P_S if dy > cy else P_N), -1
 
     def inject(self, node: int, vc: int, flit: Flit, now: int) -> None:
         """Deliver a flit into ``node``'s local input port (NIC-driven
@@ -320,6 +307,9 @@ class PacketMesh(Component):
         report = stats.as_dict()
         report["packets_dropped"] = self.packets_dropped
         report["flits_dropped"] = sum(r.flits_dropped for r in self.routers)
+        report["reroute_decisions"] = (stats.reroute_decisions
+                                       + sum(r.reroutes
+                                             for r in self.routers))
         return report
 
     def register_nic(self, nic) -> None:
@@ -428,11 +418,12 @@ class PacketMesh(Component):
         route = self._route_fn
         eject = self._eject
         drop = self._drop if self._faults is not None else None
+        adaptive = self._adaptive_fn
         if soa is not None:
-            soa.step_routers(now, route, eject, drop)
+            soa.step_routers(now, route, eject, drop, adaptive)
         else:
             for router in self.routers:
-                router.step(now, route, eject, drop)
+                router.step(now, route, eject, drop, adaptive)
 
     # ------------------------------------------------------------------
     # Noxim-convention metrics

@@ -14,6 +14,16 @@ Wormhole semantics: a head flit allocates one downstream VC; the packet
 holds it until the tail passes; body flits follow the head's route.
 With XY dimension-ordered routing the channel dependency graph is
 acyclic, so the baseline is deadlock-free.
+
+Fault-aware adaptive mode (DESIGN.md §10): when the mesh passes an
+``adaptive_fn`` (recovery="reroute"), VC 0 becomes the *escape* layer —
+it may only ever be allocated on the strict-XY egress, whose channel
+dependency graph stays acyclic because minimal routing never reopens a
+resolved dimension — while VCs 1.. may additionally be allocated on the
+other productive egress when the XY one is dead.  A head whose XY
+egress is dead waits at most :data:`REROUTE_PATIENCE` cycles for an
+adaptive VC before it is dropped (bounded-patience deadlock recovery);
+with a single VC the scheme degenerates to strict XY plus the drop.
 """
 
 from __future__ import annotations
@@ -26,6 +36,16 @@ from repro.faults.runtime import degraded_pass
 #: Port indices (N/E/S/W match the mesh convention; LOCAL injects/ejects).
 P_N, P_E, P_S, P_W, P_LOCAL = 0, 1, 2, 3, 4
 N_PORTS = 5
+
+#: Escape VC index in adaptive (reroute) mode: restricted to strict-XY
+#: egresses, so the escape subnetwork's dependency graph is acyclic.
+ESCAPE_VC = 0
+
+#: Cycles a head whose strict-XY egress is dead may wait for an adaptive
+#: VC on the other productive egress before it is dropped.  Bounds any
+#: adaptive-layer cycle (only dead-XY heads lack the escape guarantee),
+#: so forward progress is unconditional.
+REROUTE_PATIENCE = 256
 
 
 class _VcState:
@@ -77,6 +97,9 @@ class Router:
         self.fault_degraded: dict[int, float] | None = None
         self._dropping = 0  # VCs currently draining a dropped packet
         self.flits_dropped = 0
+        #: Adaptive-VC grants that deviated from the strict-XY egress
+        #: (reroute mode; one count per rerouted packet-hop).
+        self.reroutes = 0
 
     # ------------------------------------------------------------------
     def connect(self, out_port: int, neighbor: "Router", in_port: int) -> None:
@@ -94,13 +117,18 @@ class Router:
         self.buffers[port][vc].append((now, flit))
 
     # ------------------------------------------------------------------
-    def step(self, now: int, route_fn, eject_fn, drop_fn=None) -> None:
+    def step(self, now: int, route_fn, eject_fn, drop_fn=None,
+             adaptive_fn=None) -> None:
         """One cycle of allocation and switch traversal.
 
         ``route_fn(node, dst) -> out_port`` supplies the routing decision;
         ``eject_fn(flit, now)`` consumes flits that reached the local port;
         ``drop_fn(flit, now)`` (optional) observes flits dropped at dead
-        egress ports (fault injection).
+        egress ports (fault injection); ``adaptive_fn(node, dst) ->
+        (xy_port, other_port|-1)`` (optional) switches heads to the
+        escape-VC adaptive candidacy of :meth:`_adaptive_candidate`
+        (recovery="reroute" — None keeps the fault-free fast path
+        byte-identical).
         """
         n_vcs = self.n_vcs
         total = N_PORTS * n_vcs
@@ -128,8 +156,15 @@ class Router:
                         raise AssertionError(
                             f"router {self.node}: body flit with no route "
                             f"state on port {in_port} vc {in_vc}")
-                    route = (P_LOCAL if flit.packet.dst == self.node
-                             else route_fn(self.node, flit.packet.dst))
+                    dst = flit.packet.dst
+                    min_vc = 0
+                    if dst == self.node:
+                        route = P_LOCAL
+                    elif adaptive_fn is None:
+                        route = route_fn(self.node, dst)
+                    else:
+                        route, min_vc = self._adaptive_candidate(
+                            adaptive_fn, dst, now, arrived)
                     if route != out_port:
                         continue
                     if out_port == P_LOCAL:
@@ -151,12 +186,14 @@ class Router:
                                 self._dropping += 1
                             self._sa_ptr[out_port] = (idx + 1) % total
                             break
-                        out_vc = self._find_free_vc(out_port)
+                        out_vc = self._find_free_vc(out_port, min_vc)
                         if out_vc is None:
                             continue
                         state.out_port = out_port
                         state.out_vc = out_vc
                         self.vc_owner[out_port][out_vc] = (in_port, in_vc)
+                        if min_vc:
+                            self.reroutes += 1
                 elif state.out_port != out_port:
                     continue
                 if out_port == P_LOCAL:
@@ -221,15 +258,39 @@ class Router:
         for port in range(N_PORTS):
             ptrs[port] = (ptrs[port] + cycles) % total
 
-    def _find_free_vc(self, out_port: int) -> int | None:
-        """A downstream VC not owned by any packet and with buffer space."""
+    def _adaptive_candidate(self, adaptive_fn, dst: int, now: int,
+                            arrived: int) -> tuple[int, int]:
+        """Escape-VC adaptive candidacy: ``(out_port, min_vc)``.
+
+        The strict-XY egress may use any VC (VC 0 is the escape layer
+        and only ever granted here, which keeps the escape network's
+        channel dependency graph acyclic — minimal routing never reopens
+        a resolved dimension).  When the XY egress is dead, the other
+        productive egress may be used on the adaptive VCs (1..) for up
+        to :data:`REROUTE_PATIENCE` cycles of head blocking, after which
+        the packet is dropped at the dead XY egress — the bounded-wait
+        recovery that breaks any adaptive-layer cycle.
+        """
+        xy, other = adaptive_fn(self.node, dst)
+        dead = self.fault_dead
+        if dead is None or xy not in dead:
+            return xy, 0
+        if (other >= 0 and self.n_vcs > 1 and other not in dead
+                and now - arrived <= REROUTE_PATIENCE):
+            return other, 1
+        return xy, 0  # lost at the dead XY egress (or patience expired)
+
+    def _find_free_vc(self, out_port: int, min_vc: int = 0) -> int | None:
+        """A downstream VC not owned by any packet and with buffer space.
+        ``min_vc=1`` restricts the search to the adaptive VCs (reroute
+        mode keeps the escape VC 0 off non-XY egresses)."""
         neighbor = self.neighbors[out_port]
         if neighbor is None:
             raise AssertionError(
                 f"router {self.node}: route to unconnected port {out_port}")
         nb_port = self.neighbor_in_port[out_port]
         owners = self.vc_owner[out_port]
-        for vc in range(self.n_vcs):
+        for vc in range(min_vc, self.n_vcs):
             if owners[vc] is None and neighbor.buffer_space(nb_port, vc) > 0:
                 return vc
         return None

@@ -14,6 +14,12 @@ behaviour that matters for throughput:
 * responses are always sunk (one B and one R per cycle), so the
   response network can never back up into deadlock.
 
+Fault recovery (DESIGN.md §10) is **per burst**: a burst whose response
+comes back in error is re-queued (as a :class:`_BurstRetry` in the
+pending queue) and re-issued alone — its sibling bursts of the same
+transfer are never re-sent.  Recovery latency is the span from the
+burst's first issue to its first clean completion.
+
 Completion callbacks on transfers make the engine usable both open-loop
 (Poisson sources) and closed-loop (dependent DNN command streams).
 """
@@ -69,6 +75,23 @@ class _WEmitter:
         return self.issued >= self.beats
 
 
+class _BurstRetry:
+    """A burst awaiting retransmission, parked in the pending queue.
+
+    The owning transfer's ``_bursts_left`` still counts the burst (it is
+    logically in flight), so the transfer cannot complete under it.
+    """
+
+    __slots__ = ("transfer", "burst", "first_issue", "retries")
+
+    def __init__(self, transfer: Transfer, burst: Burst,
+                 first_issue: int, retries: int):
+        self.transfer = transfer
+        self.burst = burst
+        self.first_issue = first_issue
+        self.retries = retries
+
+
 class DmaEngine(Component):
     """One tile's DMA master, attached to an XP local port via ``link``."""
 
@@ -99,10 +122,13 @@ class DmaEngine(Component):
         n_ids = 1 << id_width
         self._wr_free = list(range(n_ids - 1, -1, -1))
         self._rd_free = list(range(n_ids - 1, -1, -1))
-        # id -> [transfer, issue_cycle, beats_left]
+        # id -> [transfer, first_issue, beats_left, burst, retries]
         self._wr_out: dict[int, list] = {}
         self._rd_out: dict[int, list] = {}
-        self._pending: deque[Transfer] = deque()
+        #: Transfers awaiting split + _BurstRetry records awaiting
+        #: reissue, in FIFO order (one queue so every existing activity
+        #: gate — here and in the soa fabric — covers retries for free).
+        self._pending: deque = deque()
         self._w_emit: deque[_WEmitter] = deque()
         self._cur: Transfer | None = None
         self._burst_iter: Iterator[Burst] | None = None
@@ -140,8 +166,13 @@ class DmaEngine(Component):
         bursts in flight (the quantity script ``throttle`` bounds)."""
         in_flight = {id(e[0]) for e in self._wr_out.values()}
         in_flight.update(id(e[0]) for e in self._rd_out.values())
-        return (len(self._pending) + (1 if self._cur is not None else 0)
-                + len(in_flight))
+        queued = 1 if self._cur is not None else 0
+        for item in self._pending:
+            if type(item) is _BurstRetry:
+                in_flight.add(id(item.transfer))
+            else:
+                queued += 1
+        return queued + len(in_flight)
 
     def idle(self) -> bool:
         """No queued, splitting, streaming, or outstanding work."""
@@ -248,10 +279,12 @@ class DmaEngine(Component):
         if self._cur is None:
             if not self._pending:
                 return
+            head = self._pending[0]
+            if type(head) is _BurstRetry:
+                self._issue_retry(head, now)
+                return
             transfer = self._pending.popleft()
             transfer._start_cycle = now
-            if not transfer._retries:
-                transfer._first_start = now
             self._cur = transfer
             self._burst_iter = split_transfer(
                 transfer.addr, transfer.nbytes, self.beat_bytes,
@@ -273,7 +306,7 @@ class DmaEngine(Component):
             dest = self.memory_map.resolve(burst.addr)
             link.ar.push(AddrBeat(tid, burst.addr, burst.beats, burst.nbytes,
                                   -1 if dest is None else dest, self.tile), now)
-            self._rd_out[tid] = [transfer, now, burst.beats]
+            self._rd_out[tid] = [transfer, now, burst.beats, burst, 0]
         else:
             if not self._wr_free or len(self._wr_out) >= self.max_outstanding:
                 self.counters.bump("dma_wr_mot_stall")
@@ -284,7 +317,7 @@ class DmaEngine(Component):
             dest = self.memory_map.resolve(burst.addr)
             link.aw.push(AddrBeat(tid, burst.addr, burst.beats, burst.nbytes,
                                   -1 if dest is None else dest, self.tile), now)
-            self._wr_out[tid] = [transfer, now, 0]
+            self._wr_out[tid] = [transfer, now, 0, burst, 0]
             self._w_emit.append(
                 _WEmitter(burst, self.beat_bytes, (self.tile, self._seq)))
             self._seq += 1
@@ -297,6 +330,42 @@ class DmaEngine(Component):
             self._cur = None
             self._burst_iter = None
 
+    def _issue_retry(self, retry: _BurstRetry, now: int) -> None:
+        """Reissue one failed burst (head of the pending queue).  Pops
+        the record only once the burst actually goes out; until then the
+        engine polls exactly as for a stalled fresh issue."""
+        burst = retry.burst
+        transfer = retry.transfer
+        link = self.link
+        dest = self.memory_map.resolve(burst.addr)
+        beat_args = (burst.addr, burst.beats, burst.nbytes,
+                     -1 if dest is None else dest, self.tile)
+        if transfer.is_read:
+            if not self._rd_free or len(self._rd_out) >= self.max_outstanding:
+                self.counters.bump("dma_rd_mot_stall")
+                return
+            if not link.ar.can_push():
+                return
+            tid = self._rd_free.pop()
+            link.ar.push(AddrBeat(tid, *beat_args), now)
+            self._rd_out[tid] = [transfer, retry.first_issue, burst.beats,
+                                 burst, retry.retries]
+        else:
+            if not self._wr_free or len(self._wr_out) >= self.max_outstanding:
+                self.counters.bump("dma_wr_mot_stall")
+                return
+            if not link.aw.can_push():
+                return
+            tid = self._wr_free.pop()
+            link.aw.push(AddrBeat(tid, *beat_args), now)
+            self._wr_out[tid] = [transfer, retry.first_issue, 0, burst,
+                                 retry.retries]
+            self._w_emit.append(
+                _WEmitter(burst, self.beat_bytes, (self.tile, self._seq)))
+            self._seq += 1
+        self._pending.popleft()
+        self._idle_until = now + self.issue_overhead
+
     def _complete(self, table: dict, free: list, tid: int,
                   resp: Resp, now: int) -> None:
         entry = table.pop(tid, None)
@@ -307,28 +376,27 @@ class DmaEngine(Component):
         if resp != Resp.OKAY:
             self.errors += 1
             self.counters.bump("dma_resp_error")
-            transfer._failed = True
-        transfer._bursts_left -= 1
-        if transfer._split_done and transfer._bursts_left == 0:
             policy = self.fault_policy
-            if policy is not None and transfer._failed:
-                if (transfer._retries < policy.max_retries
-                        and now - transfer._first_start <= policy.timeout):
-                    # End-to-end retransmission: re-queue the whole
-                    # transfer (simplest correct recovery unit — burst
-                    # splits may differ between attempts).
-                    transfer._retries += 1
-                    transfer._failed = False
-                    transfer._bursts_left = 0
-                    transfer._split_done = False
+            if policy is not None:
+                if (entry[4] < policy.max_retries
+                        and now - entry[1] <= policy.timeout):
+                    # Selective per-burst retransmission: only this
+                    # burst goes again; its transfer keeps owing it
+                    # (``_bursts_left`` untouched) so it cannot
+                    # complete before the retry resolves.
                     policy.stats.retransmissions += 1
-                    self._pending.append(transfer)
+                    self._pending.append(_BurstRetry(
+                        transfer, entry[3], entry[1], entry[4] + 1))
                     return
                 policy.stats.dropped += 1
-            elif policy is not None and transfer._retries:
-                policy.stats.recovered += 1
-                policy.stats.recovery_latency.add(
-                    now - transfer._first_start)
+            transfer._failed = True
+        elif entry[4]:
+            # A retried burst finally came back clean.
+            stats = self.fault_policy.stats
+            stats.recovered += 1
+            stats.recovery_latency.add(now - entry[1])
+        transfer._bursts_left -= 1
+        if transfer._split_done and transfer._bursts_left == 0:
             self.transfers_completed += 1
             self.latency_stats.add(now - transfer._start_cycle)
             if transfer.on_complete is not None:

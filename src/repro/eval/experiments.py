@@ -12,7 +12,17 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.eval import fig2, fig3, fig4, fig6, fig8, power, table1, table2
+from repro.eval import (
+    fig2,
+    fig3,
+    fig4,
+    fig6,
+    fig8,
+    power,
+    resilience,
+    table1,
+    table2,
+)
 from repro.eval.report import ExperimentResult
 from repro.scenarios import MeasureSpec
 
@@ -26,6 +36,8 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
     "fig8": ("Fig. 8: DNN workload throughput", fig8.run),
     "table2": ("Table II: comparison with state-of-the-art NoCs", table2.run),
     "power": ("Sec. III: power at 1 GHz", power.run),
+    "resilience": ("Beyond the paper: throughput retention under "
+                   "transient link faults", resilience.run),
 }
 
 

@@ -1,0 +1,106 @@
+"""Resilience sweep — throughput retention under injected faults.
+
+Beyond the paper: the reproduction can inject faults (DESIGN.md §10),
+so the paper-relevant question becomes *how much of the fig4/fig6/fig8
+throughput survives a failing fabric, under each recovery policy?*
+This experiment answers it with a grid of fault rate × recovery policy
+over the paper's traffic classes:
+
+* fig4-style uniform random traffic,
+* a fig6 synthetic pattern (all_global, the heaviest),
+* the fig8 DNN workloads (parallelized and pipelined convolution) —
+  real multi-accelerator traffic, per "Understanding the Impact of
+  On-chip Communication on DNN Accelerator Performance".
+
+Each row reports **retention** (faulty throughput / clean throughput of
+the identical fault-free scenario) plus the recovery-latency p50/p99
+that the retransmission machinery collected.  Faults are transient dead
+links drawn from a Poisson process (``link_rate``), so retransmission
+can actually win bursts back and rerouting is exercised repeatedly as
+the fault set changes.
+"""
+
+from __future__ import annotations
+
+from repro.eval.report import ExperimentResult
+from repro.faults.spec import FaultSpec
+from repro.scenarios import (
+    MeasureSpec,
+    Scenario,
+    TopologySpec,
+    TrafficSpec,
+    run_scenario,
+)
+
+RECOVERIES = ("none", "retransmit", "reroute")
+
+#: Mesh-wide transient-dead-link rates (faults/cycle); ~1 and ~4 live
+#: faults in steady state with the 500-cycle default duration.
+FAULT_RATES = (2e-3, 8e-3)
+
+#: Traffic rows: label → TrafficSpec.
+TRAFFIC = (
+    ("fig4 uniform", TrafficSpec.uniform(0.6, 1000)),
+    ("fig6 all_global", TrafficSpec.synthetic("all_global", 1000, load=0.6)),
+    ("fig8 par", TrafficSpec.dnn("par")),
+    ("fig8 pipe", TrafficSpec.dnn("pipe")),
+)
+
+
+def run(measure: MeasureSpec | bool | None = None,
+        seed: int = 1) -> ExperimentResult:
+    measure = MeasureSpec.coerce(measure)
+    topo = TopologySpec.slim()
+    result = ExperimentResult(
+        "resilience", "throughput retention under transient link faults")
+    rates = FAULT_RATES[:1] if measure.is_quick else FAULT_RATES
+    for label, traffic in TRAFFIC:
+        clean = run_scenario(Scenario(topology=topo, traffic=traffic,
+                                      measure=measure, seed=seed))
+        sec = result.section(
+            f"{label} (clean {clean.throughput_gib_s:.2f} GiB/s)",
+            ["fault_rate", "recovery", "throughput_GiB_s", "retention",
+             "rec_p50", "rec_p99", "dropped"])
+        for rate in rates:
+            for recovery in RECOVERIES:
+                point = run_scenario(Scenario(
+                    topology=topo, traffic=traffic, measure=measure,
+                    faults=FaultSpec(link_rate=rate, recovery=recovery),
+                    seed=seed))
+                rec = point.faults.get("recovery_latency", {})
+                sec.add(f"{rate:g}", recovery, point.throughput_gib_s,
+                        point.throughput_gib_s / clean.throughput_gib_s
+                        if clean.throughput_gib_s else 0.0,
+                        rec.get("p50", 0.0), rec.get("p99", 0.0),
+                        point.faults.get("dropped", 0))
+    result.note("retention = throughput / the same scenario's fault-free "
+                "throughput; rec_p50/p99 = cycles from a lost burst's "
+                "first issue to its clean completion (retransmit)")
+    result.note(f"transient dead links, {500}-cycle duration, Poisson "
+                f"rate per mesh; recovery in {RECOVERIES}")
+    return result
+
+
+def retention_curve(traffic: TrafficSpec, *, rates=FAULT_RATES,
+                    recoveries=RECOVERIES,
+                    measure: MeasureSpec | bool | None = None,
+                    seed: int = 1) -> dict:
+    """``{recovery: [(rate, retention), ...]}`` for one traffic spec —
+    the programmatic form of the experiment, for plotting."""
+    measure = MeasureSpec.coerce(measure)
+    topo = TopologySpec.slim()
+    clean = run_scenario(Scenario(topology=topo, traffic=traffic,
+                                  measure=measure, seed=seed))
+    curves: dict = {}
+    for recovery in recoveries:
+        pts = []
+        for rate in rates:
+            point = run_scenario(Scenario(
+                topology=topo, traffic=traffic, measure=measure,
+                faults=FaultSpec(link_rate=rate, recovery=recovery),
+                seed=seed))
+            pts.append((rate, point.throughput_gib_s
+                        / clean.throughput_gib_s
+                        if clean.throughput_gib_s else 0.0))
+        curves[recovery] = pts
+    return curves

@@ -39,7 +39,8 @@ class FaultController(Component):
 
     def __init__(self, name: str, timeline: FaultTimeline, stats: FaultStats,
                  xps: list, link_ports: list[tuple[int, int]],
-                 links: list[AxiLink]):
+                 links: list[AxiLink], topology=None, routers=None,
+                 dest_nodes=None):
         self.name = name
         self._timeline = timeline
         self.stats = stats
@@ -56,6 +57,16 @@ class FaultController(Component):
         self._deg_map: dict[tuple[int, int], tuple[AxiLink, float]] = {}
         self._degraded: list[tuple[AxiLink, float]] = []
         self._blocked: dict[int, set[int]] = {}
+        #: Reroute mode (recovery="reroute"): recompute up*/down* tables
+        #: on every mesh-liveness change and install them on the
+        #: ComputedRouters.  None = reroute disabled.
+        self._topology = topology
+        self._routers = routers
+        self._dest_nodes = dest_nodes
+        self._table_sig = None
+        if routers is not None:
+            for router in routers.values():
+                router.fault_stats = stats
 
     # -- activity contract ---------------------------------------------
     def quiet(self) -> bool:
@@ -109,6 +120,37 @@ class FaultController(Component):
             touched.add(key)
         for key in sorted(touched):
             self._refresh(key)
+        if self._routers is not None:
+            self._retable()
+
+    def _retable(self) -> None:
+        """Recompute and install the up*/down* fault tables when the
+        mesh-level liveness picture changed (reroute mode only)."""
+        from repro.noc.reroute import compute_fault_tables
+        from repro.noc.topology import MESH_PORTS
+
+        dead = set()
+        degraded = {}
+        for key, sub in self._entries.items():
+            if key[1] >= MESH_PORTS or not sub:
+                continue  # local-port faults don't reshape the mesh
+            factors = sub.values()
+            if 0.0 in factors:
+                dead.add(key)
+            else:
+                degraded[key] = min(factors)
+        sig = (frozenset(dead), tuple(sorted(degraded.items())))
+        if sig == self._table_sig:
+            return
+        self._table_sig = sig
+        if not dead and not degraded:
+            for router in self._routers.values():
+                router.fault_table = None
+            return
+        tables = compute_fault_tables(self._topology, dead, degraded,
+                                      self._dest_nodes)
+        for node, router in self._routers.items():
+            router.fault_table = tables[node]
 
     def _refresh(self, key: tuple[int, int]) -> None:
         node, port = key

@@ -45,12 +45,14 @@ class FaultStats:
         self.link_faults = 0        # link fault events applied
         self.port_faults = 0        # port fault events applied
         self.corrupted = 0          # bursts/packets corrupted in flight
-        self.retransmissions = 0    # endpoint-initiated retries
-        self.recovered = 0          # transfers completed after >= 1 retry
-        self.dropped = 0            # transfers abandoned (budget/timeout)
-        self.reroute_decisions = 0  # fault-aware route deviations (approx:
-        #                             counts route-fn invocations that
-        #                             dodged a dead link, not packets)
+        self.retransmissions = 0    # endpoint-initiated retries (bursts
+        #                             on AXI, packets on the baseline)
+        self.recovered = 0          # bursts/packets clean after a retry
+        self.dropped = 0            # bursts/packets abandoned (budget or
+        #                             timeout exhausted)
+        self.reroute_decisions = 0  # route deviations from the pristine
+        #                             path (AXI: per addr-beat per hop;
+        #                             baseline: per rerouted packet-hop)
         self.recovery_latency = LatencyStats("recovery")
 
     def injected(self) -> int:

@@ -16,10 +16,11 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass
 
-#: Endpoint recovery policies.  "retransmit" (end-to-end retry at the
-#: DMA/NIC endpoints) applies to both backends; "reroute" (route around
-#: dead links) only to the packet baseline — PATRONoC's address-based
-#: routing is static by construction.
+#: Endpoint recovery policies, all applicable to both backends.
+#: "retransmit" retries lost/corrupted traffic at the DMA/NIC endpoints
+#: (per-burst on the AXI side, per-packet on the baseline); "reroute"
+#: routes around dead links — escape-VC adaptive routing on the packet
+#: baseline, up*/down* fault tables on the AXI mesh (DESIGN.md §10).
 RECOVERY_POLICIES = ("none", "retransmit", "reroute")
 
 

@@ -196,12 +196,15 @@ class NocNetwork:
                 for n in range(self.topology.n_nodes)
             }
             self.route_tables = None
+        reroute_mode = (faults is not None and faults.active()
+                        and faults.recovery == "reroute")
         self.xps: list[AxiCrossbar] = []
         for node in range(self.topology.n_nodes):
             xp = build_crosspoint(
                 f"xp{node}", node, self.topology, cfg,
                 n_local_ports=ports_used.get(node, 0),
-                route=routers[node], counters=self.counters)
+                route=routers[node], counters=self.counters,
+                force_full=reroute_mode)
             self.xps.append(xp)
 
         # -- mesh links ------------------------------------------------------
@@ -262,11 +265,11 @@ class NocNetwork:
         self.fault_stats: FaultStats | None = None
         self._fault_controller: FaultController | None = None
         if faults is not None and faults.active():
-            if faults.recovery == "reroute":
+            if faults.recovery == "reroute" and routing == "table":
                 raise ValueError(
-                    "recovery='reroute' applies only to the packet "
-                    "baseline; PATRONoC's address-based routing is "
-                    "static (use 'retransmit' or 'none')")
+                    "recovery='reroute' needs routing='computed': the "
+                    "per-hop address tables are frozen at build time "
+                    "and cannot swap to the up*/down* fault tables")
             self.fault_stats = stats = FaultStats()
             mem_tiles = [b for b in self.tiles if b.memory is not None]
             rngs = fault_rngs(fault_seed, 1 + len(mem_tiles))
@@ -293,9 +296,14 @@ class NocNetwork:
                 for built in self.tiles:
                     if built.dma is not None:
                         built.dma.fault_policy = policy
+            reroute = faults.recovery == "reroute"
             self._fault_controller = FaultController(
                 "faults", timeline, stats, self.xps,
-                self._mesh_link_ports, self._mesh_links)
+                self._mesh_link_ports, self._mesh_links,
+                topology=self.topology if reroute else None,
+                routers=routers if reroute else None,
+                dest_nodes=(frozenset(endpoint_nodes.values())
+                            if reroute else None))
 
         # -- registration ------------------------------------------------------
         # The fault controller steps first so a head stalled at cycle t

@@ -95,9 +95,16 @@ def generate_route_tables(
 
 
 class ComputedRouter:
-    """Routing mode "computed": coordinate comparison on ``beat.dest``."""
+    """Routing mode "computed": coordinate comparison on ``beat.dest``.
 
-    __slots__ = ("node", "topology", "endpoint_nodes", "local_ports")
+    In reroute mode (DESIGN.md §10) the fault controller installs
+    ``fault_table`` — the node's up*/down* tables over the surviving
+    links (:mod:`repro.noc.reroute`).  ``None`` (the steady state and
+    the whole life of a fault-free run) keeps the pristine YX path.
+    """
+
+    __slots__ = ("node", "topology", "endpoint_nodes", "local_ports",
+                 "fault_table", "fault_stats")
 
     def __init__(self, node: int, topology: Mesh2D,
                  endpoint_nodes: dict[int, int], local_ports: dict[int, int]):
@@ -105,6 +112,9 @@ class ComputedRouter:
         self.topology = topology
         self.endpoint_nodes = endpoint_nodes
         self.local_ports = local_ports
+        #: (up_table, down_table, down_in_ports) | None — see reroute.py.
+        self.fault_table = None
+        self.fault_stats = None
 
     def __call__(self, beat: AddrBeat, in_port: int) -> int | None:
         dest_node = self.endpoint_nodes.get(beat.dest)
@@ -112,6 +122,15 @@ class ComputedRouter:
             return None
         if dest_node == self.node:
             return self.local_ports[beat.dest]
+        ft = self.fault_table
+        if ft is not None:
+            up_tbl, down_tbl, down_in = ft
+            tbl = down_tbl if in_port in down_in else up_tbl
+            port = tbl.get(dest_node)
+            if port is not None:
+                if port != self.topology.route_next(self.node, dest_node):
+                    self.fault_stats.reroute_decisions += 1
+                return port
         return self.topology.route_next(self.node, dest_node)
 
 

@@ -62,20 +62,24 @@ def build_crosspoint(
     n_local_ports: int,
     route: RouteFn,
     counters: CounterSet | None = None,
+    force_full: bool = False,
 ) -> AxiCrossbar:
     """Instantiate one XP as a partially/fully connected crossbar.
 
     The crossbar's port count is ``4 + n_local_ports``; mesh ports that
     have no neighbour (mesh edges) simply stay unconnected, mirroring
     Fig. 1 where corner XPs are 3-master/3-slave and centre XPs
-    5-master/5-slave.
+    5-master/5-slave.  ``force_full`` selects the fully-connected wiring
+    regardless of the config — reroute mode's up*/down* detours take
+    turns the YX-partial wiring omits (the connectivity set is only a
+    wiring *check*, so widening it never changes fault-free behaviour).
     """
     n_ports = MESH_PORTS + n_local_ports
     present = [
         p for p in (PORT_N, PORT_E, PORT_S, PORT_W)
         if topology.neighbor(node, p) is not None
     ] + [LOCAL_PORT_BASE + k for k in range(n_local_ports)]
-    if cfg.full_connectivity:
+    if cfg.full_connectivity or force_full:
         connectivity = full_connectivity(present)
     else:
         connectivity = partial_connectivity(present)

@@ -158,7 +158,8 @@ def _run_dnn(sc: Scenario) -> Result:
         workload = WORKLOADS[key](cfg, shrink=0.95, input_hw=112)
     else:
         workload = WORKLOADS[key](cfg)
-    net = workload.build_network(cfg)
+    net = workload.build_network(cfg, faults=sc.faults, fault_seed=sc.seed,
+                                 kernel=_kernel())
     scripts = workload.install(net)
     slim = cfg.data_width <= 64
     if key == "train":
@@ -184,7 +185,8 @@ def _run_dnn(sc: Scenario) -> Result:
             name=sc.label, backend="patronoc", label=key, load=1.0,
             seed=sc.seed, throughput_gib_s=thr, cycles=net.sim.now,
             counters=_noc_counters(net),
-            link_utilization=heat.utilization() if heat else {})
+            link_utilization=heat.utilization() if heat else {},
+            faults=net.fault_report())
     # Per-field None-fill, like MeasureSpec.resolve() but against the
     # workload-derived table instead of the fidelity preset.
     d_warmup, d_window = _DNN_WINDOWS[(quick, slim)]

@@ -364,18 +364,6 @@ class Scenario:
     name: str = ""
 
     def __post_init__(self) -> None:
-        if self.faults is not None and self.faults.active():
-            if self.traffic.kind == "dnn":
-                raise ValueError(
-                    "fault injection is not supported under DNN workloads "
-                    "(their completion logic assumes a fault-free fabric); "
-                    "use uniform or synthetic traffic")
-            if (self.topology.backend == "patronoc"
-                    and self.faults.recovery == "reroute"):
-                raise ValueError(
-                    "recovery='reroute' applies only to the packet "
-                    "baseline — PATRONoC's address-based routing is "
-                    "static (use 'retransmit' or 'none')")
         if self.topology.backend == "baseline" \
                 and self.traffic.kind != "uniform":
             raise ValueError(

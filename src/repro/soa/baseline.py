@@ -68,9 +68,12 @@ class SoaMeshKernel:
             debts[node] += cycles
 
     # ------------------------------------------------------------------
-    def step_routers(self, now: int, route_fn, eject_fn, drop_fn) -> None:
+    def step_routers(self, now: int, route_fn, eject_fn, drop_fn,
+                     adaptive_fn=None) -> None:
         """One allocation/traversal cycle for every router, in node
-        order — the fused replacement for the mesh's router loop."""
+        order — the fused replacement for the mesh's router loop.
+        ``adaptive_fn`` mirrors :meth:`~repro.baseline.router.Router.
+        step`'s escape-VC adaptive mode (recovery="reroute")."""
         masks = self.masks
         debts = self.debts
         total = self.total
@@ -126,8 +129,15 @@ class SoaMeshKernel:
                                 f"router {node}: body flit with no route "
                                 f"state on port {in_port} vc "
                                 f"{idx - in_port * n_vcs}")
-                        route = (P_LOCAL if flit.packet.dst == node
-                                 else route_fn(node, flit.packet.dst))
+                        dst = flit.packet.dst
+                        min_vc = 0
+                        if dst == node:
+                            route = P_LOCAL
+                        elif adaptive_fn is None:
+                            route = route_fn(node, dst)
+                        else:
+                            route, min_vc = router._adaptive_candidate(
+                                adaptive_fn, dst, now, arrived)
                         if route != out_port:
                             continue
                         if out_port == P_LOCAL:
@@ -159,7 +169,7 @@ class SoaMeshKernel:
                             owners = router.vc_owner[out_port]
                             nb_vc_bufs = neighbor.buffers[nb_port]
                             out_vc = None
-                            for vc in range(n_vcs):
+                            for vc in range(min_vc, n_vcs):
                                 if (owners[vc] is None
                                         and len(nb_vc_bufs[vc]) < buf_depth):
                                     out_vc = vc
@@ -169,6 +179,8 @@ class SoaMeshKernel:
                             state.out_port = out_port
                             state.out_vc = out_vc
                             owners[out_vc] = (in_port, idx - in_port * n_vcs)
+                            if min_vc:
+                                router.reroutes += 1
                     elif state.out_port != out_port:
                         continue
                     if out_port == P_LOCAL:

@@ -11,6 +11,8 @@ down with progress assertions under the nastiest traffic we can generate.
 
 import pytest
 
+from repro.baseline.network import PacketMesh, PacketMeshConfig
+from repro.faults.spec import FaultSpec, LinkFault
 from repro.noc.config import NocConfig
 from repro.noc.network import NocNetwork
 from repro.traffic.uniform import uniform_random
@@ -72,3 +74,80 @@ def test_deep_mot_under_load():
     uniform_random(net, load=1.0, max_burst_bytes=300,
                    read_fraction=0.5, seed=6).install()
     assert_forward_progress(net, total_cycles=6000, check=2000)
+
+
+# ----------------------------------------------------------------------
+# Escape-VC adaptive routing on the packet baseline (DESIGN.md §10).
+#
+# Minimal-adaptive rerouting without structure deadlocks real wormhole
+# NoCs: packets deviating around a dead region create cyclic channel
+# dependencies that strict XY never could.  The escape-VC scheme keeps
+# VC 0 on strict-XY egresses only (acyclic escape layer) and bounds the
+# wait of heads stuck at a dead XY egress, so these adversarial runs —
+# saturating injection squeezed around dead cuts — must always make
+# progress and always drain.
+# ----------------------------------------------------------------------
+
+#: A vertical cut through the middle of the 4x4 mesh (both directions of
+#: two column-crossing links) — traffic between the halves must squeeze
+#: through the two surviving rows, the nastiest congestion an adaptive
+#: scheme faces.
+DEAD_CUT = [LinkFault(5, 6, start=200), LinkFault(6, 5, start=200),
+            LinkFault(9, 10, start=200), LinkFault(10, 9, start=200)]
+
+
+def _saturated_mesh(seed, *, n_vcs=4, rate=0.9, links=DEAD_CUT):
+    spec = FaultSpec(links=links, recovery="reroute")
+    cfg = PacketMeshConfig(n_vcs=n_vcs, buf_depth=8)
+    return PacketMesh(cfg, injection_rate=rate, seed=seed, faults=spec)
+
+
+def assert_mesh_progress(mesh, total_cycles=12_000, check=2000):
+    """Ejected + dropped flits must strictly increase in every window —
+    a stalled allocation anywhere would freeze both counters."""
+    last = -1
+    for _ in range(total_cycles // check):
+        mesh.run(check)
+        moved = mesh.flits_received + sum(
+            r.flits_dropped for r in mesh.routers)
+        assert moved > last, (
+            f"no flit movement between cycles "
+            f"{mesh.sim.now - check} and {mesh.sim.now}")
+        last = moved
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_adaptive_saturation_around_dead_cut_makes_progress(seed):
+    """The regression case for the old minimal-adaptive deadlock caveat."""
+    mesh = _saturated_mesh(seed)
+    assert_mesh_progress(mesh)
+    assert mesh.fault_report()["reroute_decisions"] > 0
+
+
+@pytest.mark.parametrize("n_vcs", [1, 2, 4])
+def test_adaptive_saturated_mesh_drains(n_vcs):
+    """After quiescing the sources, everything in flight leaves the
+    network (ejected or dropped at the dead cut) — the enforced form of
+    the removed deadlock caveat."""
+    mesh = _saturated_mesh(7, n_vcs=n_vcs)
+    mesh.run(6000)
+    mesh.injection_rate = 0.0
+    mesh._next_arrival = [float("inf")] * mesh.cfg.n_nodes
+    for _ in range(100):
+        mesh.run(1000)
+        if mesh.quiet():
+            break
+    assert mesh.quiet(), (
+        f"{mesh._flits_in_network} flits still in network after "
+        f"100k drain cycles")
+
+
+def test_adaptive_dead_sink_region_makes_progress():
+    """All links into a node die — packets destined there can never
+    arrive, so bounded patience must convert them into drops instead of
+    letting them clog the adaptive layer forever."""
+    sink_cut = [LinkFault(a, b, start=200)
+                for a, b in ((4, 5), (6, 5), (1, 5), (9, 5))]
+    mesh = _saturated_mesh(3, links=sink_cut)
+    assert_mesh_progress(mesh)
+    assert mesh.packets_dropped > 0

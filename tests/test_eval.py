@@ -16,10 +16,11 @@ from repro.traffic.synthetic import MAX_ONE_HOP
 
 class TestRegistry:
     def test_covers_every_table_and_figure(self):
-        """One entry per evaluation artefact of the paper (DESIGN.md §4)."""
+        """One entry per evaluation artefact of the paper (DESIGN.md §4),
+        plus the beyond-the-paper resilience sweep."""
         assert set(EXPERIMENTS) == {
             "table1", "fig2", "fig3", "fig4", "fig6", "fig8", "table2",
-            "power"}
+            "power", "resilience"}
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):

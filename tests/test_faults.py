@@ -115,15 +115,22 @@ class TestScenarioIntegration:
         assert sc.faults is None
         assert Scenario.from_json(sc.to_json()) == sc
 
-    def test_dnn_rejects_faults(self):
-        with pytest.raises(ValueError, match="DNN"):
-            Scenario(traffic=TrafficSpec.dnn("par"),
-                     faults=FaultSpec(link_rate=1e-4))
+    def test_dnn_accepts_faults(self):
+        sc = Scenario(traffic=TrafficSpec.dnn("par"),
+                      faults=FaultSpec(link_rate=1e-4, recovery="reroute"))
+        assert Scenario.from_json(sc.to_json()) == sc
 
-    def test_patronoc_rejects_reroute(self):
+    def test_patronoc_accepts_reroute(self):
+        sc = _uniform_scenario(faults=FaultSpec(links=[LinkFault(0, 1)],
+                                                recovery="reroute"))
+        assert sc.faults.recovery == "reroute"
+
+    def test_table_routing_rejects_reroute(self):
+        """Frozen per-hop address tables cannot swap to fault tables."""
         with pytest.raises(ValueError, match="reroute"):
-            _uniform_scenario(faults=FaultSpec(links=[LinkFault(0, 1)],
-                                               recovery="reroute"))
+            NocNetwork(NocConfig(rows=2, cols=2), routing="table",
+                       faults=FaultSpec(links=[LinkFault(0, 1)],
+                                        recovery="reroute"))
 
     def test_baseline_accepts_reroute(self):
         sc = _uniform_scenario(backend="baseline",
@@ -306,13 +313,165 @@ class TestAxiFaults:
         assert f["retransmissions"] == 2
         assert f["dropped"] == 1 and f["recovered"] == 0
 
+    def test_per_burst_retransmit_spares_clean_bursts(self):
+        """Retransmission is per burst: a transient dead window in the
+        middle of a multi-burst transfer only re-sends the bursts it
+        hit — the siblings delivered before/after the window go once."""
+        n_bursts = 8  # 8192 B / (256 beats * 4 B/beat)
+        net = NocNetwork(NocConfig(rows=2, cols=2),
+                         faults=FaultSpec(
+                             links=[LinkFault(0, 1, start=400,
+                                              duration=600)],
+                             recovery="retransmit", max_retries=64),
+                         fault_seed=1)
+        done = []
+        net.dmas[0].submit(Transfer(
+            src=0, addr=net.addr_of(1, 0), nbytes=8192, is_read=False,
+            on_complete=lambda now: done.append(now)))
+        net.drain(max_cycles=200_000)
+        f = net.fault_report()
+        assert done and net.memories[1].bytes_written == 8192
+        assert f["dropped"] == 0
+        # Some bursts were hit and recovered; some never needed a retry.
+        assert 0 < f["recovered"] < n_bursts
+        assert f["retransmissions"] >= f["recovered"]
+        assert f["recovery_latency"]["count"] == f["recovered"]
+        # Recovery latency spans the dead window, not one clean burst.
+        assert f["recovery_latency"]["p99"] > 256
+
+
+# ----------------------------------------------------------------------
+# AXI up*/down* rerouting (DESIGN.md §10)
+# ----------------------------------------------------------------------
+class TestAxiReroute:
+    def _dead(self, *pairs, start=0, duration=None, recovery="reroute"):
+        return FaultSpec(links=[LinkFault(s, d, start=start,
+                                          duration=duration)
+                                for s, d in pairs],
+                         recovery=recovery)
+
+    def test_reroute_dodges_dead_link(self):
+        """node0 -> node5 normally crosses 4->5 (YX); with 4<->5 dead
+        the up*/down* tables deliver around it, error-free."""
+        faults = self._dead((4, 5), (5, 4))
+        net = NocNetwork(NocConfig.slim(), faults=faults, fault_seed=1)
+        done = []
+        net.dmas[0].submit(Transfer(
+            src=0, addr=net.addr_of(5, 0), nbytes=1024, is_read=False,
+            on_complete=lambda now: done.append(now)))
+        net.drain(max_cycles=50_000)
+        f = net.fault_report()
+        assert done and net.dmas[0].errors == 0
+        assert net.memories[5].bytes_written == 1024
+        assert f["reroute_decisions"] > 0
+        assert f["blocked_aw"] == 0
+
+    def test_fail_fast_without_reroute(self):
+        """Same fault, recovery='none': the transfer SLVERRs instead."""
+        faults = self._dead((4, 5), (5, 4), recovery="none")
+        net = NocNetwork(NocConfig.slim(), faults=faults, fault_seed=1)
+        done = []
+        net.dmas[0].submit(Transfer(
+            src=0, addr=net.addr_of(5, 0), nbytes=1024, is_read=False,
+            on_complete=lambda now: done.append(now)))
+        net.drain(max_cycles=50_000)
+        assert done and net.dmas[0].errors == 1
+        assert net.memories[5].bytes_written == 0
+
+    def test_unreachable_dest_still_fails_fast(self):
+        """A fully cut-off node is absent from the fault tables; routes
+        toward it fall back to YX and hit the dead-egress SLVERR path
+        instead of hanging."""
+        faults = self._dead((0, 1), (1, 0), (3, 1), (1, 3))
+        net = NocNetwork(NocConfig(rows=2, cols=2), faults=faults,
+                         fault_seed=1)
+        done = []
+        net.dmas[0].submit(Transfer(
+            src=0, addr=net.addr_of(1, 0), nbytes=64, is_read=False,
+            on_complete=lambda now: done.append(now)))
+        net.drain(max_cycles=50_000)
+        assert done and net.dmas[0].errors == 1
+        assert net.memories[1].bytes_written == 0
+
+    def test_transient_fault_reverts_to_pristine_routes(self):
+        """After the fault clears, new transfers take the original YX
+        path again — reroute_decisions stops growing."""
+        faults = self._dead((4, 5), (5, 4), duration=2000)
+        net = NocNetwork(NocConfig.slim(), faults=faults, fault_seed=1)
+        net.dmas[0].submit(Transfer(
+            src=0, addr=net.addr_of(5, 0), nbytes=256, is_read=False))
+        net.drain(max_cycles=50_000)
+        during = net.fault_report()["reroute_decisions"]
+        assert during > 0
+        net.run(3000)  # past the fault window
+        net.dmas[0].submit(Transfer(
+            src=0, addr=net.addr_of(5, 0), nbytes=256, is_read=False))
+        net.drain(max_cycles=50_000)
+        assert net.fault_report()["reroute_decisions"] == during
+        assert net.memories[5].bytes_written == 512
+        assert net.dmas[0].errors == 0
+
+    def test_scenario_reroute_beats_fail_fast(self):
+        """Under uniform traffic with a dead cut, rerouting eliminates
+        the SLVERR storm entirely (detour paths can cost some open-loop
+        throughput, so errors — not GiB/s — is the robust observable)."""
+        def point(recovery):
+            return run_scenario(_uniform_scenario(
+                faults=self._dead((5, 6), (6, 5), start=200,
+                                  recovery=recovery)))
+
+        none, rr = point("none"), point("reroute")
+        assert none.faults["response_errors"] > 0
+        assert rr.faults["response_errors"] == 0
+        assert rr.faults["reroute_decisions"] > 0
+
+
+# ----------------------------------------------------------------------
+# DNN workloads under faults
+# ----------------------------------------------------------------------
+class TestDnnFaults:
+    def test_dnn_scenario_runs_with_faults(self):
+        """A DNN workload with an injected dead link completes its
+        window and reports recovery accounting in Result.faults."""
+        sc = Scenario(
+            topology=TopologySpec.slim(),
+            traffic=TrafficSpec.dnn("par"),
+            measure=MeasureSpec(fidelity="quick", warmup=2000,
+                                window=4000),
+            faults=FaultSpec(links=[LinkFault(5, 6, start=100)],
+                             recovery="reroute"),
+            seed=3)
+        result = run_scenario(sc)
+        assert result.faults["link_faults"] >= 1
+        assert result.faults["reroute_decisions"] > 0
+        assert result.throughput_gib_s > 0
+
+    def test_dnn_recovery_policies_ordered(self):
+        """With a dead cut on the mesh, rerouting recovers most of the
+        DNN traffic that fail-fast loses to SLVERR."""
+        def point(recovery):
+            return run_scenario(Scenario(
+                topology=TopologySpec.slim(),
+                traffic=TrafficSpec.dnn("par"),
+                measure=MeasureSpec(fidelity="quick", warmup=2000,
+                                    window=6000),
+                faults=FaultSpec(links=[LinkFault(5, 6, start=100),
+                                        LinkFault(6, 5, start=100)],
+                                 recovery=recovery),
+                seed=3))
+
+        none, rr = point("none"), point("reroute")
+        assert none.faults["response_errors"] > 0
+        assert rr.faults["response_errors"] < none.faults["response_errors"] / 2
+        assert rr.faults["reroute_decisions"] > 0
+
 
 # ----------------------------------------------------------------------
 # Packet-baseline semantics
 # ----------------------------------------------------------------------
 class TestBaselineFaults:
-    def _mesh(self, spec, *, rate=0.08, cycles=4000, seed=3):
-        mesh = PacketMesh(PacketMeshConfig(), injection_rate=rate,
+    def _mesh(self, spec, *, rate=0.08, cycles=4000, seed=3, cfg=None):
+        mesh = PacketMesh(cfg or PacketMeshConfig(), injection_rate=rate,
                           seed=seed, faults=spec)
         mesh.run(cycles)
         return mesh
@@ -327,13 +486,27 @@ class TestBaselineFaults:
             mesh.packets_dropped * mesh.cfg.packet_flits)
 
     def test_reroute_reduces_drops(self):
+        """Escape-VC adaptive routing needs >= 2 VCs (VC 0 stays the
+        XY escape layer); with them it dodges the dead link."""
+        cfg = PacketMeshConfig(n_vcs=4, buf_depth=32)
         spec_none = FaultSpec(links=[LinkFault(5, 6, start=100)])
         spec_rr = FaultSpec(links=[LinkFault(5, 6, start=100)],
                             recovery="reroute")
-        dropped_none = self._mesh(spec_none).packets_dropped
-        rerouted = self._mesh(spec_rr)
+        dropped_none = self._mesh(spec_none, cfg=cfg).packets_dropped
+        rerouted = self._mesh(spec_rr, cfg=cfg)
         assert rerouted.packets_dropped < dropped_none
         assert rerouted.fault_report()["reroute_decisions"] > 0
+
+    def test_reroute_single_vc_degenerates_to_drop(self):
+        """With one VC there is no adaptive layer: reroute mode behaves
+        exactly like strict XY plus dead-egress drops."""
+        spec_rr = FaultSpec(links=[LinkFault(5, 6, start=100)],
+                            recovery="reroute")
+        spec_none = FaultSpec(links=[LinkFault(5, 6, start=100)])
+        rerouted = self._mesh(spec_rr)
+        plain = self._mesh(spec_none)
+        assert rerouted.packets_dropped == plain.packets_dropped
+        assert rerouted.fault_report()["reroute_decisions"] == 0
 
     def test_corrupt_packets_not_credited(self):
         clean = self._mesh(None)

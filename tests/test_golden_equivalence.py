@@ -53,7 +53,35 @@ def observe(cfg: NocConfig, traffic_kwargs: dict, seed: int,
         "per_dma": per_dma,
         "per_mem": per_mem,
         "counters": net.counters.as_dict(),
+        "faults": net.fault_report(),
     }
+
+
+#: Active fault set for the reroute equivalence matrix: an explicit
+#: transient dead pair on a link both CONFIGS topologies have, plus a
+#: Poisson stream so the up*/down* tables are rebuilt repeatedly
+#: mid-run.
+REROUTE_FAULTS = FaultSpec(
+    links=[{"src": 0, "dst": 1, "start": 100, "duration": 600},
+           {"src": 1, "dst": 0, "start": 100, "duration": 600}],
+    link_rate=5e-4, recovery="reroute")
+
+
+@pytest.mark.parametrize("kernel", ["activity", "soa"])
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_reroute_kernels_match_always_step(name, seed, kernel):
+    """Active up*/down* rerouting (dead links + Poisson churn) is
+    bit-identical across all three kernels — the fault tables hang off
+    the shared ComputedRouter, so every kernel must see every swap."""
+    cfg, traffic_kwargs = CONFIGS[name]
+    candidate = observe(cfg, traffic_kwargs, seed, kernel=kernel,
+                        faults=REROUTE_FAULTS)
+    reference = observe(cfg, traffic_kwargs, seed, always_step=True,
+                        faults=REROUTE_FAULTS)
+    for key in reference:
+        assert candidate[key] == reference[key], key
+    assert candidate["faults"]["link_faults"] > 0
 
 
 @pytest.mark.parametrize("kernel", ["activity", "soa"])
@@ -84,9 +112,20 @@ def test_no_fault_path_is_bit_identical(always_step):
     armed = observe(cfg, traffic_kwargs, 7, always_step,
                     faults=FaultSpec(links=[{"src": 0, "dst": 1,
                                              "start": 10**9}]))
+    # recovery="reroute" additionally widens XP connectivity at build
+    # time (up*/down* needs the turns YX wiring omits) — the widening
+    # is a wiring-check relaxation only and must stay invisible until
+    # a fault actually fires.
+    rr_armed = observe(cfg, traffic_kwargs, 7, always_step,
+                       faults=FaultSpec(links=[{"src": 0, "dst": 1,
+                                                "start": 10**9}],
+                                        recovery="reroute"))
     for key in baseline:
         assert inactive[key] == baseline[key], f"inactive spec: {key}"
+        if key == "faults":
+            continue  # armed specs legitimately report a (zeroed) section
         assert armed[key] == baseline[key], f"armed-never-firing: {key}"
+        assert rr_armed[key] == baseline[key], f"reroute-armed: {key}"
 
 
 def test_repeated_drain_is_idempotent_in_both_modes():
