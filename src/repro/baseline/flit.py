@@ -19,15 +19,17 @@ class FlitKind(IntEnum):
 class Packet:
     """One serialised network packet (the baseline's unit of transfer).
 
-    The trailing three slots are fault-injection state (DESIGN.md §10):
+    The trailing slots are fault-injection state (DESIGN.md §10):
     ``corrupt`` marks in-flight payload corruption (detected at
-    ejection), ``attempt`` counts retransmissions of this payload, and
+    ejection), ``attempt`` counts retransmissions of this payload,
     ``origin`` is the cycle the *first* attempt was created (recovery
-    latency is measured from it).
+    latency is measured from it), and ``token`` identifies the payload
+    across attempts for the NIC's reply watchdog (the first attempt's
+    pid; None outside NIC response-fault mode).
     """
 
     __slots__ = ("src", "dst", "length", "created", "pid",
-                 "corrupt", "attempt", "origin")
+                 "corrupt", "attempt", "origin", "token")
 
     def __init__(self, src: int, dst: int, length: int, created: int,
                  pid: int):
@@ -41,6 +43,7 @@ class Packet:
         self.corrupt = False
         self.attempt = 0
         self.origin = created
+        self.token = None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"Packet(pid={self.pid}, {self.src}->{self.dst}, "

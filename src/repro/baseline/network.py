@@ -119,8 +119,24 @@ class PacketMesh(Component):
         self._corrupt_rng = None
         self._nics: dict[int, object] = {}
         self.packets_dropped = 0
+        #: Stuck-VC faults: node -> {fault_id: (in_port, vc)}.
+        self._stuck_entries: dict[int, dict[int, tuple[int, int]]] = {}
+        #: NIC reply-watchdog mode (response_faults): payload tokens
+        #: already credited (a resent copy whose first delivery lost
+        #: only its reply must not double-count).
+        self._delivered: set[int] = set()
         if self._faults is not None:
             spec = self._faults
+            if spec.byzantine_rate > 0.0:
+                raise ValueError(
+                    "byzantine_rate is an AXI fault model (response beats "
+                    "checked by the scoreboard/ID remap): the packet "
+                    "baseline has no response beats to corrupt")
+            if spec.response_faults and spec.txn_timeout is None:
+                raise ValueError(
+                    "response_faults needs txn_timeout: the endpoint "
+                    "watchdog is the only thing that terminates an "
+                    "orphaned packet")
             self._fault_stats = FaultStats()
             rngs = fault_rngs(seed if fault_seed is None else fault_seed, 2)
             self._timeline = FaultTimeline(spec, len(self._link_ports),
@@ -214,6 +230,23 @@ class PacketMesh(Component):
                 # credited; retransmit end-to-end if the policy allows.
                 self._recover_or_drop(packet, nbytes)
                 return
+            if packet.token is not None:
+                # NIC reply-watchdog mode: credit each payload once
+                # (a resent copy whose first delivery lost only its
+                # reply is a duplicate) and deliver the instant reply
+                # over the reverse path — lost if any hop is dead,
+                # leaving the source NIC's watchdog to recover.
+                if packet.token not in self._delivered:
+                    self._delivered.add(packet.token)
+                    if nbytes:
+                        self.bytes_received += nbytes
+                        if now >= self.warmup:
+                            self.bytes_received_measured += nbytes
+                if self._ack_path_alive(packet.dst, packet.src):
+                    nic = self._nics.get(packet.src)
+                    if nic is not None:
+                        nic.confirm(packet.token, now)
+                return
             if packet.attempt:
                 stats = self._fault_stats
                 stats.recovered += 1
@@ -233,9 +266,30 @@ class PacketMesh(Component):
             nbytes = self._payloads.pop(packet.pid, 0)
             self._recover_or_drop(packet, nbytes)
 
+    def _ack_path_alive(self, src: int, dst: int) -> bool:
+        """Whether an instant reply from ``src`` back to ``dst`` makes
+        it: every XY hop's egress must be live.  Replies are not
+        simulated flit-by-flit — a dead hop loses them outright, a
+        degraded hop only slows them (still well inside any sensible
+        ``txn_timeout``), mirroring how requests fare on each."""
+        topo = self.topology
+        node = src
+        while node != dst:
+            port = self._route(node, dst)
+            dead = self._dead_ports.get(node)
+            if dead and port in dead:
+                return False
+            node = topo.neighbor(node, port)
+        return True
+
     def _recover_or_drop(self, packet: Packet, nbytes: int) -> None:
         """A packet was lost or corrupted: resubmit through the source
         NIC (bounded attempts) or count it dropped."""
+        if packet.token is not None:
+            # NIC reply-watchdog mode: nothing reached the receiver, so
+            # no reply comes back — the source NIC's txn_timeout owns
+            # recovery (instant loss-retransmit would be an oracle).
+            return
         stats = self._fault_stats
         spec = self._faults
         nic = self._nics.get(packet.src)
@@ -256,6 +310,17 @@ class PacketMesh(Component):
         entries = self._fault_entries
         touched: set[tuple[int, int]] = set()
         for kind, *rest in events:
+            if kind == "vc":
+                node, port, vc, fid = rest
+                self._stuck_entries.setdefault(node, {})[fid] = (port, vc)
+                stats.vc_faults += 1
+                self._refresh_stuck(node)
+                continue
+            if kind == "vc_clear":
+                node, port, vc, fid = rest
+                self._stuck_entries.get(node, {}).pop(fid, None)
+                self._refresh_stuck(node)
+                continue
             if kind == "link":
                 idx, fid, factor = rest
                 key = self._link_ports[idx]
@@ -277,6 +342,12 @@ class PacketMesh(Component):
             touched.add(key)
         for key in sorted(touched):
             self._refresh_fault_port(key)
+
+    def _refresh_stuck(self, node: int) -> None:
+        """Recompute one router's stuck-VC slot set from the overlapping
+        fault entries (a slot is stuck while any fault pins it)."""
+        slots = set((self._stuck_entries.get(node) or {}).values())
+        self.routers[node].fault_stuck = frozenset(slots) if slots else None
 
     def _refresh_fault_port(self, key: tuple[int, int]) -> None:
         """Recompute one (node, out_port)'s effective state from the

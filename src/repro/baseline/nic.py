@@ -51,25 +51,37 @@ class PacketNic(Component):
         self.name = f"nic{node}"
         cfg = mesh.cfg
         self.payload_per_packet = (cfg.packet_flits - 1) * cfg.flit_bytes
-        # (dst, nbytes, attempt, origin); attempt/origin are fault-recovery
-        # state — 0/None on the first transmission (DESIGN.md §10).
+        # (dst, nbytes, attempt, origin, token, timed); the trailing
+        # four are fault-recovery state — 0/None/None/False on a first
+        # transmission (DESIGN.md §10).
         self._pending: deque[tuple] = deque()
         self._flits: deque = deque()
         self._idle_until = 0
         self._pid = node << 32
         self.bytes_sent = 0
+        # Reply watchdog (response_faults): each sent packet's payload
+        # stays outstanding until its instant reply confirms delivery or
+        # txn_timeout expires — token -> [deadline, dst, nbytes,
+        # attempt, origin, timed] (deadlines monotone in insertion
+        # order, so only the head is ever inspected).
+        spec = getattr(mesh, "_faults", None)
+        self._watchdog = spec is not None and spec.response_faults
+        self._txn_timeout = spec.txn_timeout if self._watchdog else None
+        self._spec = spec
+        self._outstanding: dict[int, list] = {}
         mesh.register_nic(self)
 
     def submit(self, transfer: Transfer, dst_node: int) -> None:
         """Queue a transfer for packetisation towards ``dst_node``."""
-        self._pending.append((dst_node, transfer.nbytes, 0, None))
+        self._pending.append((dst_node, transfer.nbytes, 0, None,
+                              None, False))
         self.wake()  # external input: revive a NIC asleep in the kernel
 
     def resubmit(self, dst: int, nbytes: int, attempt: int,
-                 origin: int) -> None:
+                 origin: int, token=None, timed: bool = False) -> None:
         """End-to-end retransmission of one lost/corrupted packet's
         payload (called by the mesh's fault machinery)."""
-        self._pending.append((dst, nbytes, attempt, origin))
+        self._pending.append((dst, nbytes, attempt, origin, token, timed))
         self.wake()
 
     @property
@@ -77,15 +89,61 @@ class PacketNic(Component):
         return len(self._pending)
 
     def idle(self) -> bool:
-        return not self._pending and not self._flits
+        return (not self._pending and not self._flits
+                and not self._outstanding)
 
     def quiet(self) -> bool:
+        # Waiting on replies alone may sleep: next_event wakes the NIC
+        # at the earliest watchdog deadline, and confirms arrive via the
+        # mesh (which is awake while the reply's packet is in flight).
         return not self._pending and not self._flits
 
+    def next_event(self, now: int) -> int | None:
+        if self._outstanding:
+            return next(iter(self._outstanding.values()))[0]
+        return None
+
+    def confirm(self, token: int, now: int) -> None:
+        """The reply for one packet's payload came back (the mesh calls
+        this on tail ejection when the reverse path is live)."""
+        entry = self._outstanding.pop(token, None)
+        if entry is None:
+            return  # late duplicate: an earlier copy already confirmed
+        stats = self.mesh._fault_stats
+        if entry[3]:
+            stats.recovered += 1
+            stats.recovery_latency.add(now - entry[4])
+        if entry[5]:
+            stats.timeout_recovered += 1
+            stats.timeout_latency.add(now - entry[4])
+
+    def _check_timeouts(self, now: int) -> None:
+        """Abort outstanding payloads whose reply never came back:
+        resubmit (bounded attempts) or count them dropped."""
+        out = self._outstanding
+        stats = self.mesh._fault_stats
+        spec = self._spec
+        while out:
+            token = next(iter(out))
+            entry = out[token]
+            if entry[0] > now:
+                break
+            del out[token]
+            stats.orphaned += 1
+            if (spec.recovery == "retransmit"
+                    and entry[3] < spec.max_retries):
+                stats.retransmissions += 1
+                self._pending.append((entry[1], entry[2], entry[3] + 1,
+                                      entry[4], token, True))
+            else:
+                stats.dropped += 1
+
     def step(self, now: int) -> None:
+        if self._outstanding:
+            self._check_timeouts(now)
         # Packetise: one packet per translation_overhead cycles.
         if self._pending and not self._flits and now >= self._idle_until:
-            dst, nbytes, attempt, origin = self._pending[0]
+            dst, nbytes, attempt, origin, token, timed = self._pending[0]
             chunk = min(nbytes, self.payload_per_packet)
             packet = Packet(self.node, dst, self.mesh.cfg.packet_flits,
                             now, self._pid)
@@ -93,6 +151,11 @@ class PacketNic(Component):
             if attempt:
                 packet.attempt = attempt
                 packet.origin = origin
+            if self._watchdog:
+                packet.token = token if token is not None else packet.pid
+                self._outstanding[packet.token] = [
+                    now + self._txn_timeout, dst, chunk, attempt,
+                    packet.origin, timed]
             # Packet payload accounting rides on the packet object: the
             # ejection side credits chunk bytes when the tail arrives.
             self.mesh.register_payload(packet.pid, chunk)
@@ -100,7 +163,8 @@ class PacketNic(Component):
             self.bytes_sent += chunk
             remaining = nbytes - chunk
             if remaining > 0:
-                self._pending[0] = (dst, remaining, attempt, origin)
+                self._pending[0] = (dst, remaining, attempt, origin,
+                                    token, timed)
             else:
                 self._pending.popleft()
             self._idle_until = now + self.translation_overhead

@@ -95,6 +95,11 @@ class Router:
         #: path.
         self.fault_dead: frozenset[int] | None = None
         self.fault_degraded: dict[int, float] | None = None
+        #: Stuck input VCs — (in_port, vc) slots whose buffered flits
+        #: never win switch allocation while the fault holds (a jammed
+        #: VC allocator / credit loss).  Allocation *into* a stuck VC
+        #: stays allowed; traffic on other VCs keeps flowing.
+        self.fault_stuck: frozenset[tuple[int, int]] | None = None
         self._dropping = 0  # VCs currently draining a dropped packet
         self.flits_dropped = 0
         #: Adaptive-VC grants that deviated from the strict-XY egress
@@ -132,6 +137,7 @@ class Router:
         """
         n_vcs = self.n_vcs
         total = N_PORTS * n_vcs
+        stuck = self.fault_stuck
         if self._dropping:
             self._drain_dropped(now, drop_fn)
         used_inputs: set[int] = set()
@@ -151,6 +157,8 @@ class Router:
                 state = self.vc_state[in_port][in_vc]
                 if state.dropping:
                     continue  # packet lost at a dead egress; draining
+                if stuck is not None and (in_port, in_vc) in stuck:
+                    continue  # stuck VC: flits pinned until the fault clears
                 if state.out_port is None:
                     if not flit.is_head:
                         raise AssertionError(
@@ -233,6 +241,9 @@ class Router:
                 state = states[in_vc]
                 if not state.dropping:
                     continue
+                if (self.fault_stuck is not None
+                        and (in_port, in_vc) in self.fault_stuck):
+                    continue  # stuck VCs don't drain either
                 buf = self.buffers[in_port][in_vc]
                 if not buf or buf[0][0] >= now:
                     continue

@@ -165,8 +165,8 @@ def _sweep(args) -> int:
     if any(r is not None and r.faults for r in results):
         fsec = table.section(
             "faults", ["scenario", "injected", "detected", "retrans",
-                       "recovered", "dropped", "rec_p50_lat",
-                       "rec_p99_lat"])
+                       "recovered", "dropped", "resp_errors", "orphaned",
+                       "timeout_rec", "rec_p50_lat", "rec_p99_lat"])
         for result in results:
             if result is None or not result.faults:
                 continue
@@ -174,8 +174,9 @@ def _sweep(args) -> int:
             rec = f.get("recovery_latency", {})
             fsec.add(result.name, f.get("injected", 0), f.get("detected", 0),
                      f.get("retransmissions", 0), f.get("recovered", 0),
-                     f.get("dropped", 0), rec.get("p50", 0.0),
-                     rec.get("p99", 0.0))
+                     f.get("dropped", 0), f.get("response_errors", 0),
+                     f.get("orphaned", 0), f.get("timeout_recovered", 0),
+                     rec.get("p50", 0.0), rec.get("p99", 0.0))
     print(render_text(table))
     print(f"[sweep completed in {elapsed:.1f}s]")
     n_failed = sum(1 for r in results if r is None)

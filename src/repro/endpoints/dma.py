@@ -75,6 +75,13 @@ class _WEmitter:
         return self.issued >= self.beats
 
 
+#: Flag bits for outstanding-entry index 6 (transaction-lifetime state).
+_F_TIMED = 1  # this issue is a txn-timeout retry (timeout_recovered)
+_F_BYZ = 2    # byzantine payload corruption detected mid-burst
+_F_GAP = 4    # a beat was discarded in flight; tolerate the tail
+#               length mismatch and fail the burst there instead
+
+
 class _BurstRetry:
     """A burst awaiting retransmission, parked in the pending queue.
 
@@ -82,14 +89,15 @@ class _BurstRetry:
     logically in flight), so the transfer cannot complete under it.
     """
 
-    __slots__ = ("transfer", "burst", "first_issue", "retries")
+    __slots__ = ("transfer", "burst", "first_issue", "retries", "timed_out")
 
     def __init__(self, transfer: Transfer, burst: Burst,
-                 first_issue: int, retries: int):
+                 first_issue: int, retries: int, timed_out: bool = False):
         self.transfer = transfer
         self.burst = burst
         self.first_issue = first_issue
         self.retries = retries
+        self.timed_out = timed_out
 
 
 class DmaEngine(Component):
@@ -144,6 +152,30 @@ class DmaEngine(Component):
         #: re-submitted end-to-end (bounded retries/timeout).  None is
         #: the fault-free fast path.
         self.fault_policy = None
+        #: Shared :class:`~repro.faults.runtime.FaultStats` (set by the
+        #: network whenever the watchdog or byzantine model is armed).
+        self.fault_stats = None
+        #: Per-transaction cycle budget (``FaultSpec.txn_timeout``);
+        #: None disables the watchdog and all lifetime guards.
+        self._txn_timeout: int | None = None
+        #: Byzantine response-corruption model (``byzantine_rate``).
+        self._byz_rate = 0.0
+        self._byz_rng = None
+        #: Response-path faults armed: R bursts may arrive with beats
+        #: missing (dropped on a transient dead link whose tail
+        #: survived), so length mismatches complete as SLVERR instead
+        #: of asserting.
+        self._resp_tolerant = False
+        #: Aborted ids held through a grace window (id -> expiry cycle):
+        #: response beats may still trickle in for an orphaned burst and
+        #: must not land on a recycled id.
+        self._wr_zombie: dict[int, int] = {}
+        self._rd_zombie: dict[int, int] = {}
+        #: True once any lifetime guard is live (watchdog, byzantine,
+        #: tolerant responses).  The AoS kernels get the same effect by
+        #: shadowing ``_sink`` with ``_sink_armed``; the SoA fabric
+        #: branches on this flag instead of re-deriving it per beat.
+        self._armed = False
 
     # ------------------------------------------------------------------
     def submit(self, transfer: Transfer) -> None:
@@ -196,9 +228,25 @@ class DmaEngine(Component):
         return True
 
     def next_event(self, now: int) -> int | None:
+        wake = None
         if self._pending or self._cur is not None:
-            return self._idle_until
-        return None
+            wake = self._idle_until
+        if self._txn_timeout is not None:
+            # Earliest watchdog deadline: deadlines are monotone in each
+            # table's insertion order, so the heads suffice.  Zombie-id
+            # grace expiries count too — recycling a reserved id must
+            # happen on the same cycle in every kernel.
+            for table in (self._wr_out, self._rd_out):
+                if table:
+                    deadline = next(iter(table.values()))[5]
+                    if wake is None or deadline < wake:
+                        wake = deadline
+            for zom in (self._wr_zombie, self._rd_zombie):
+                if zom:
+                    expiry = next(iter(zom.values()))
+                    if wake is None or expiry < wake:
+                        wake = expiry
+        return wake
 
     # ------------------------------------------------------------------
     # The inline ``_q`` probes mirror the crossbar hot path (identical
@@ -228,6 +276,10 @@ class DmaEngine(Component):
                     consumer.wake(now + w.latency)
                 if emitter.issued >= emitter.beats:
                     w_emit.popleft()
+        # Abort orphaned transactions before considering new issues, so
+        # a freed slot/retry is usable the same cycle in every kernel.
+        if self._txn_timeout is not None:
+            self._check_timeouts(now)
         # Issue at most one burst per cycle (skip the call when there is
         # neither a transfer being split nor one queued).
         if (now >= self._idle_until
@@ -241,12 +293,16 @@ class DmaEngine(Component):
         return True
 
     def _sink(self, now: int, link: AxiLink) -> None:
-        """Consume at most one B and one R beat (inlined pop hot path)."""
+        """Consume at most one B and one R beat (inlined pop hot path).
+
+        Fault wiring shadows this with :meth:`_sink_armed` (an instance
+        attribute wins over the class method), so the fault-free path
+        never pays for the response-fault guards."""
         q = link.b._q
         if q and q[0][0] <= now:
             beat = link.b.pop(now)
-            self._complete(self._wr_out, self._wr_free, beat.id, beat.resp,
-                           now)
+            self._complete(self._wr_out, self._wr_free, beat.id,
+                           beat.resp, now)
         rf = link.r
         q = rf._q
         if q and q[0][0] <= now:
@@ -274,6 +330,131 @@ class DmaEngine(Component):
                 self._complete(self._rd_out, self._rd_free, beat.id,
                                beat.resp, now)
 
+    def _sink_armed(self, now: int, link: AxiLink) -> None:
+        """:meth:`_sink` with the transaction-lifetime guards — bound
+        over the class method at fault wiring time whenever the
+        watchdog, byzantine draws, or tolerant response handling are
+        live.  The guarded sinks are bit-identical to the fast path
+        while no guard has anything to do, so static dispatch here
+        preserves golden equivalence."""
+        q = link.b._q
+        if q and q[0][0] <= now:
+            beat = link.b.pop(now)
+            self._sink_b_guarded(beat.id, beat.resp, now)
+        q = link.r._q
+        if q and q[0][0] <= now:
+            self._sink_r_guarded(link.r.pop(now), now)
+
+    def _sink_b_guarded(self, tid: int, resp: Resp, now: int) -> None:
+        """B sink with the transaction-lifetime guards (byzantine draws,
+        zombie ids) — reachable only with response-path faults armed."""
+        rng = self._byz_rng
+        if rng is not None and rng.random() < self._byz_rate:
+            self.fault_stats.byzantine += 1
+            if rng.random() < 0.5:
+                return  # ID mangled in flight: the scoreboard discards
+                #         the beat; the burst orphans into the watchdog
+            resp = Resp.SLVERR  # payload corrupted: detected as an error
+        if tid in self._wr_out:
+            self._complete(self._wr_out, self._wr_free, tid, resp, now)
+        elif self._wr_zombie.pop(tid, None) is not None:
+            self._wr_free.append(tid)  # late response for an aborted burst
+        else:
+            raise AssertionError(
+                f"{self.name}: response for unknown id {tid}")
+
+    def _sink_r_guarded(self, beat, now: int) -> None:
+        """R sink with the transaction-lifetime guards; credit
+        bookkeeping is identical to the inline fast path."""
+        tid = beat.id
+        resp = beat.resp
+        entry = self._rd_out.get(tid)
+        rng = self._byz_rng
+        if rng is not None and rng.random() < self._byz_rate:
+            self.fault_stats.byzantine += 1
+            if rng.random() < 0.5:
+                # ID mangled: discard; the burst's beat count can no
+                # longer line up, so flag the gap for the tail check.
+                if entry is not None:
+                    entry[6] |= _F_GAP
+                return
+            resp = Resp.SLVERR
+            if entry is not None:
+                entry[6] |= _F_BYZ
+        if entry is None:
+            if tid not in self._rd_zombie:
+                raise AssertionError(
+                    f"{self.name}: R beat for unknown id {tid}")
+            if beat.last:  # the aborted burst's tail finally arrived
+                del self._rd_zombie[tid]
+                self._rd_free.append(tid)
+            return
+        if not resp:
+            meter = self.read_meter
+            meter.bytes_total += beat.nbytes
+            if now >= meter.warmup_cycles:
+                meter.bytes_measured += beat.nbytes
+            self.bytes_read += beat.nbytes
+        entry[2] -= 1
+        mismatch = beat.last != (entry[2] == 0)
+        if mismatch and not (entry[6] & _F_GAP) and not self._resp_tolerant:
+            raise AssertionError(
+                f"{self.name}: R burst length mismatch on id {tid}")
+        if beat.last:
+            if mismatch or (entry[6] & _F_BYZ):
+                resp = Resp.SLVERR
+            self._complete(self._rd_out, self._rd_free, tid, resp, now)
+
+    def _check_timeouts(self, now: int) -> None:
+        """The per-transaction watchdog: abort outstanding bursts whose
+        ``txn_timeout`` expired (orphaned by a lost response) into the
+        retransmission path, and recycle zombie ids whose grace window
+        passed.  Deadlines are monotone in each dict's insertion order,
+        so only the heads are ever inspected."""
+        for zom, free in ((self._wr_zombie, self._wr_free),
+                          (self._rd_zombie, self._rd_free)):
+            while zom:
+                tid = next(iter(zom))
+                if zom[tid] > now:
+                    break
+                del zom[tid]
+                free.append(tid)
+        # Same reservation bound the fault controller uses for its
+        # deferred read-chain releases: a *slow* (congested, not lost)
+        # response can outlive the watchdog budget by far, and a stale
+        # beat landing on a recycled id would complete the wrong burst.
+        grace = max(4096, 2 * self._txn_timeout)
+        stats = self.fault_stats
+        policy = self.fault_policy
+        for table, zom in ((self._wr_out, self._wr_zombie),
+                           (self._rd_out, self._rd_zombie)):
+            while table:
+                tid = next(iter(table))
+                entry = table[tid]
+                if entry[5] > now:
+                    break
+                del table[tid]
+                # Hold the id through a grace window: beats of the
+                # orphan may still be in flight (a slow rather than
+                # lost response) and must not land on a recycled id.
+                zom[tid] = now + grace
+                stats.orphaned += 1
+                transfer = entry[0]
+                if (policy is not None and entry[4] < policy.max_retries
+                        and now - entry[1] <= policy.timeout):
+                    policy.stats.retransmissions += 1
+                    self._pending.append(_BurstRetry(
+                        transfer, entry[3], entry[1], entry[4] + 1, True))
+                    continue
+                stats.dropped += 1
+                transfer._failed = True
+                transfer._bursts_left -= 1
+                if transfer._split_done and transfer._bursts_left == 0:
+                    self.transfers_completed += 1
+                    self.latency_stats.add(now - transfer._start_cycle)
+                    if transfer.on_complete is not None:
+                        transfer.on_complete(now)
+
     # ------------------------------------------------------------------
     def _issue(self, now: int) -> None:
         if self._cur is None:
@@ -296,6 +477,8 @@ class DmaEngine(Component):
             return
         transfer = self._cur
         link = self.link
+        to = self._txn_timeout
+        dl = now + to if to is not None else 0
         if transfer.is_read:
             if not self._rd_free or len(self._rd_out) >= self.max_outstanding:
                 self.counters.bump("dma_rd_mot_stall")
@@ -306,7 +489,7 @@ class DmaEngine(Component):
             dest = self.memory_map.resolve(burst.addr)
             link.ar.push(AddrBeat(tid, burst.addr, burst.beats, burst.nbytes,
                                   -1 if dest is None else dest, self.tile), now)
-            self._rd_out[tid] = [transfer, now, burst.beats, burst, 0]
+            self._rd_out[tid] = [transfer, now, burst.beats, burst, 0, dl, 0]
         else:
             if not self._wr_free or len(self._wr_out) >= self.max_outstanding:
                 self.counters.bump("dma_wr_mot_stall")
@@ -317,7 +500,7 @@ class DmaEngine(Component):
             dest = self.memory_map.resolve(burst.addr)
             link.aw.push(AddrBeat(tid, burst.addr, burst.beats, burst.nbytes,
                                   -1 if dest is None else dest, self.tile), now)
-            self._wr_out[tid] = [transfer, now, 0, burst, 0]
+            self._wr_out[tid] = [transfer, now, 0, burst, 0, dl, 0]
             self._w_emit.append(
                 _WEmitter(burst, self.beat_bytes, (self.tile, self._seq)))
             self._seq += 1
@@ -337,6 +520,9 @@ class DmaEngine(Component):
         burst = retry.burst
         transfer = retry.transfer
         link = self.link
+        to = self._txn_timeout
+        dl = now + to if to is not None else 0
+        flags = _F_TIMED if retry.timed_out else 0
         dest = self.memory_map.resolve(burst.addr)
         beat_args = (burst.addr, burst.beats, burst.nbytes,
                      -1 if dest is None else dest, self.tile)
@@ -349,7 +535,7 @@ class DmaEngine(Component):
             tid = self._rd_free.pop()
             link.ar.push(AddrBeat(tid, *beat_args), now)
             self._rd_out[tid] = [transfer, retry.first_issue, burst.beats,
-                                 burst, retry.retries]
+                                 burst, retry.retries, dl, flags]
         else:
             if not self._wr_free or len(self._wr_out) >= self.max_outstanding:
                 self.counters.bump("dma_wr_mot_stall")
@@ -359,7 +545,7 @@ class DmaEngine(Component):
             tid = self._wr_free.pop()
             link.aw.push(AddrBeat(tid, *beat_args), now)
             self._wr_out[tid] = [transfer, retry.first_issue, 0, burst,
-                                 retry.retries]
+                                 retry.retries, dl, flags]
             self._w_emit.append(
                 _WEmitter(burst, self.beat_bytes, (self.tile, self._seq)))
             self._seq += 1
@@ -395,6 +581,9 @@ class DmaEngine(Component):
             stats = self.fault_policy.stats
             stats.recovered += 1
             stats.recovery_latency.add(now - entry[1])
+            if entry[6] & _F_TIMED:
+                stats.timeout_recovered += 1
+                stats.timeout_latency.add(now - entry[1])
         transfer._bursts_left -= 1
         if transfer._split_done and transfer._bursts_left == 0:
             self.transfers_completed += 1

@@ -73,12 +73,79 @@ def run(measure: MeasureSpec | bool | None = None,
                         if clean.throughput_gib_s else 0.0,
                         rec.get("p50", 0.0), rec.get("p99", 0.0),
                         point.faults.get("dropped", 0))
+    _churn_section(result, topo, measure, seed)
+    _response_section(result, topo, measure, seed)
     result.note("retention = throughput / the same scenario's fault-free "
                 "throughput; rec_p50/p99 = cycles from a lost burst's "
                 "first issue to its clean completion (retransmit)")
     result.note(f"transient dead links, {500}-cycle duration, Poisson "
                 f"rate per mesh; recovery in {RECOVERIES}")
     return result
+
+
+#: Churn rates for the partial-repair cost sweep (faults/cycle): high
+#: enough that the up*/down* tables are rebuilt many times per window.
+CHURN_RATES = (4e-3, 1.6e-2)
+
+
+def _churn_section(result: ExperimentResult, topo, measure, seed) -> None:
+    """Transient-churn sweep: throughput retention of reroute vs
+    fail-fast under Poisson link churn, plus the table-repair cost the
+    RouteCache actually paid (``dijkstra_sources``) against the
+    full-swap baseline (``retables × n_nodes`` sources)."""
+    traffic = TrafficSpec.uniform(0.6, 1000)
+    clean = run_scenario(Scenario(topology=topo, traffic=traffic,
+                                  measure=measure, seed=seed))
+    sec = result.section(
+        "transient churn: partial table repair "
+        f"(clean {clean.throughput_gib_s:.2f} GiB/s)",
+        ["churn_rate", "recovery", "retention", "retables",
+         "repaired_sources", "full_swap_sources"])
+    n_nodes = topo.rows * topo.cols
+    rates = CHURN_RATES[:1] if measure.is_quick else CHURN_RATES
+    for rate in rates:
+        for recovery in ("none", "reroute"):
+            point = run_scenario(Scenario(
+                topology=topo, traffic=traffic, measure=measure,
+                faults=FaultSpec(link_rate=rate, recovery=recovery),
+                seed=seed))
+            retables = point.faults.get("retables", 0)
+            sec.add(f"{rate:g}", recovery,
+                    point.throughput_gib_s / clean.throughput_gib_s
+                    if clean.throughput_gib_s else 0.0,
+                    retables, point.faults.get("dijkstra_sources", 0),
+                    retables * n_nodes)
+
+
+def _response_section(result: ExperimentResult, topo, measure,
+                      seed) -> None:
+    """Response-path fault loop: transient dead links also drop B/R
+    beats; the per-transaction watchdog aborts orphans into the
+    retransmission path (DESIGN.md §10)."""
+    traffic = TrafficSpec.uniform(0.6, 1000)
+    clean = run_scenario(Scenario(topology=topo, traffic=traffic,
+                                  measure=measure, seed=seed))
+    sec = result.section(
+        "response-path faults: orphan timeouts "
+        f"(clean {clean.throughput_gib_s:.2f} GiB/s)",
+        ["fault_rate", "recovery", "retention", "response_drops",
+         "orphaned", "timeout_recovered", "timeout_p99"])
+    rates = FAULT_RATES[:1] if measure.is_quick else FAULT_RATES
+    for rate in rates:
+        for recovery in ("none", "retransmit"):
+            point = run_scenario(Scenario(
+                topology=topo, traffic=traffic, measure=measure,
+                faults=FaultSpec(link_rate=rate, recovery=recovery,
+                                 response_faults=True, txn_timeout=2000),
+                seed=seed))
+            lat = point.faults.get("timeout_latency", {})
+            sec.add(f"{rate:g}", recovery,
+                    point.throughput_gib_s / clean.throughput_gib_s
+                    if clean.throughput_gib_s else 0.0,
+                    point.faults.get("response_drops", 0),
+                    point.faults.get("orphaned", 0),
+                    point.faults.get("timeout_recovered", 0),
+                    lat.get("p99", 0.0))
 
 
 def retention_curve(traffic: TrafficSpec, *, rates=FAULT_RATES,

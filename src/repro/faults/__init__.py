@@ -9,7 +9,7 @@ aware rerouting in the packet baseline).
 from repro.faults.runtime import (CorruptionModel, FaultStats, FaultTimeline,
                                   RetransmitPolicy, degraded_pass, fault_rngs)
 from repro.faults.spec import (RECOVERY_POLICIES, FaultSpec, LinkFault,
-                               PortFault)
+                               PortFault, StuckVcFault)
 
 __all__ = [
     "RECOVERY_POLICIES",
@@ -20,6 +20,7 @@ __all__ = [
     "LinkFault",
     "PortFault",
     "RetransmitPolicy",
+    "StuckVcFault",
     "degraded_pass",
     "fault_rngs",
 ]

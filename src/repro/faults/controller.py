@@ -27,8 +27,12 @@ a link keep their consumer awake, which does).
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.axi.link import AxiLink
+from repro.axi.xbar import _retire_dest
 from repro.faults.runtime import FaultStats, FaultTimeline, degraded_pass
+from repro.noc.topology import MESH_PORTS
 from repro.sim.kernel import Component
 
 
@@ -40,7 +44,8 @@ class FaultController(Component):
     def __init__(self, name: str, timeline: FaultTimeline, stats: FaultStats,
                  xps: list, link_ports: list[tuple[int, int]],
                  links: list[AxiLink], topology=None, routers=None,
-                 dest_nodes=None):
+                 dest_nodes=None, response_faults: bool = False,
+                 release_grace: int = 4096):
         self.name = name
         self._timeline = timeline
         self.stats = stats
@@ -57,6 +62,18 @@ class FaultController(Component):
         self._deg_map: dict[tuple[int, int], tuple[AxiLink, float]] = {}
         self._degraded: list[tuple[AxiLink, float]] = []
         self._blocked: dict[int, set[int]] = {}
+        #: Response-path fault loop (DESIGN.md §10): while armed, B/R
+        #: beats on dead mesh links are dropped — the issuing DMA's
+        #: txn_timeout watchdog owns recovery.
+        self._response = response_faults
+        self._grace = release_grace
+        self._resp_dead: dict[tuple[int, int], AxiLink] = {}
+        self._owner_by_link = {id(links[i]): key
+                               for i, key in enumerate(link_ports)}
+        #: Killed read bursts whose remap chain is released only after a
+        #: grace window (stragglers may still be in flight): (expiry,
+        #: [(xp, out, rid, in_port, oid), ...]), expiries monotone.
+        self._deferred: deque[tuple[int, list]] = deque()
         #: Reroute mode (recovery="reroute"): recompute up*/down* tables
         #: on every mesh-liveness change and install them on the
         #: ComputedRouters.  None = reroute disabled.
@@ -64,29 +81,123 @@ class FaultController(Component):
         self._routers = routers
         self._dest_nodes = dest_nodes
         self._table_sig = None
+        self._route_cache = None
         if routers is not None:
             for router in routers.values():
                 router.fault_stats = stats
 
     # -- activity contract ---------------------------------------------
     def quiet(self) -> bool:
-        return not self._degraded
+        return (not self._degraded
+                and not (self._resp_dead and self._resp_pending()))
 
     def next_event(self, now: int) -> int | None:
-        return self._timeline.peek()
+        wake = self._timeline.peek()
+        if self._deferred:
+            due = self._deferred[0][0]
+            if wake is None or due < wake:
+                wake = due
+        return wake
 
     def step(self, now: int) -> bool:
         tl = self._timeline
         nxt = tl.peek()
         if nxt is not None and nxt <= now:
             self._apply(tl.pop_due(now))
+        if self._deferred and self._deferred[0][0] <= now:
+            self._expire_releases(now)
+        busy = False
+        if self._resp_dead:
+            self._drop_responses(now)
+            busy = self._resp_pending()
         degraded = self._degraded
         if degraded:
             for link, factor in degraded:
                 if not degraded_pass(now, factor):
                     link.stall_heads(now)
             return False  # stall decisions change every cycle
-        return True
+        return not busy
+
+    # -- response-path drops (response_faults) --------------------------
+    def _resp_pending(self) -> bool:
+        """True while a response beat may still appear on (or sit in) a
+        dead mesh link: its master egress has transactions in flight.
+        Fail-fast admission control stops the count from growing while
+        the egress is dead, so this goes — and stays — False once the
+        orphans drain, letting every kernel's drain terminate."""
+        for node, port in self._resp_dead:
+            xp = self._xps[node]
+            if xp._wr_inflight[port] or xp._rd_inflight[port]:
+                return True
+        return False
+
+    def _drop_responses(self, now: int) -> None:
+        """Drop every visible B/R head on dead mesh links.  Runs before
+        any crosspoint steps (the controller registers first), so a
+        consumer never sees a beat the fault already claimed."""
+        for link in self._resp_dead.values():
+            b = link.b
+            beat = b.peek(now)
+            while beat is not None:
+                b.pop(now)
+                self._kill_write(link, beat.id)
+                beat = b.peek(now)
+            r = link.r
+            beat = r.peek(now)
+            while beat is not None:
+                r.pop(now)
+                if beat.last:
+                    self._kill_read(link, beat.id, now)
+                beat = r.peek(now)
+
+    def _kill_write(self, link, rid: int) -> None:
+        """Release the remap chain of a write burst whose (single) B beat
+        was just dropped.  B responses release per beat, so the chain
+        holds exactly one reference per hop and nothing of this burst
+        remains in flight — the release is safe immediately."""
+        while True:
+            key = self._owner_by_link.get(id(link))
+            if key is None:
+                break  # endpoint link: the DMA watchdog owns recovery
+            node, out = key
+            xp = self._xps[node]
+            i, oid = xp._wr_remap[out].release(rid)
+            xp._wr_inflight[out] -= 1
+            _retire_dest(xp._wr_dest[i], oid, out)
+            link = xp.in_links[i]
+            rid = oid
+        self.stats.response_drops += 1
+
+    def _kill_read(self, link, rid: int, now: int) -> None:
+        """Schedule the remap-chain release for a read burst whose last
+        R beat was just dropped.  Earlier beats of the burst may still
+        be in flight toward the DMA (they passed this link before it
+        died); holding every hop's id through a grace window keeps them
+        unambiguous — an id is never recycled under a straggler."""
+        hops = []
+        while True:
+            key = self._owner_by_link.get(id(link))
+            if key is None:
+                break
+            node, out = key
+            xp = self._xps[node]
+            entry = xp._rd_remap[out]._table[rid]
+            i, oid = entry[0], entry[1]
+            hops.append((xp, out, rid, i, oid))
+            link = xp.in_links[i]
+            rid = oid
+        if hops:
+            self._deferred.append((now + self._grace, hops))
+        self.stats.response_drops += 1
+
+    def _expire_releases(self, now: int) -> None:
+        dq = self._deferred
+        while dq and dq[0][0] <= now:
+            _, hops = dq.popleft()
+            for xp, out, rid, i, oid in hops:
+                xp._rd_remap[out].release(rid)
+                xp._rd_inflight[out] -= 1
+                _retire_dest(xp._rd_dest[i], oid, out)
 
     # -- event application ---------------------------------------------
     def _apply(self, events: list[tuple]) -> None:
@@ -125,9 +236,11 @@ class FaultController(Component):
 
     def _retable(self) -> None:
         """Recompute and install the up*/down* fault tables when the
-        mesh-level liveness picture changed (reroute mode only)."""
-        from repro.noc.reroute import compute_fault_tables
-        from repro.noc.topology import MESH_PORTS
+        mesh-level liveness picture changed (reroute mode only).  Tables
+        come from a :class:`~repro.noc.reroute.RouteCache`, which repairs
+        only the sources the change can affect (bit-identical to a full
+        swap; its counters feed the churn-cost report)."""
+        from repro.noc.reroute import RouteCache
 
         dead = set()
         degraded = {}
@@ -147,8 +260,13 @@ class FaultController(Component):
             for router in self._routers.values():
                 router.fault_table = None
             return
-        tables = compute_fault_tables(self._topology, dead, degraded,
-                                      self._dest_nodes)
+        cache = self._route_cache
+        if cache is None:
+            cache = self._route_cache = RouteCache(self._topology,
+                                                   self._dest_nodes)
+        tables = cache.tables(dead, degraded)
+        self.stats.retables = cache.retables
+        self.stats.dijkstra_sources = cache.dijkstra_sources
         for node, router in self._routers.items():
             router.fault_table = tables[node]
 
@@ -172,3 +290,8 @@ class FaultController(Component):
             else:
                 self._deg_map.pop(key, None)
             self._degraded = list(self._deg_map.values())
+            if self._response and port < MESH_PORTS:
+                if dead:
+                    self._resp_dead[key] = link
+                else:
+                    self._resp_dead.pop(key, None)

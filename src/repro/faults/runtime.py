@@ -37,13 +37,17 @@ class FaultStats:
     """Mutable fault/recovery bookkeeping shared by the injection points
     and recovery policies of one network."""
 
-    __slots__ = ("link_faults", "port_faults", "corrupted",
+    __slots__ = ("link_faults", "port_faults", "vc_faults", "corrupted",
                  "retransmissions", "recovered", "dropped",
-                 "reroute_decisions", "recovery_latency")
+                 "reroute_decisions", "recovery_latency",
+                 "response_drops", "orphaned", "timeout_recovered",
+                 "timeout_latency", "byzantine", "retables",
+                 "dijkstra_sources")
 
     def __init__(self) -> None:
         self.link_faults = 0        # link fault events applied
         self.port_faults = 0        # port fault events applied
+        self.vc_faults = 0          # stuck-VC fault events applied
         self.corrupted = 0          # bursts/packets corrupted in flight
         self.retransmissions = 0    # endpoint-initiated retries (bursts
         #                             on AXI, packets on the baseline)
@@ -54,22 +58,42 @@ class FaultStats:
         #                             path (AXI: per addr-beat per hop;
         #                             baseline: per rerouted packet-hop)
         self.recovery_latency = LatencyStats("recovery")
+        self.response_drops = 0     # response bursts/replies lost on
+        #                             dead links (response_faults)
+        self.orphaned = 0           # transactions aborted by the
+        #                             txn_timeout watchdog
+        self.timeout_recovered = 0  # orphans clean after a timeout retry
+        self.timeout_latency = LatencyStats("timeout")
+        self.byzantine = 0          # byzantine beats detected/discarded
+        self.retables = 0           # up*/down* table repair events
+        self.dijkstra_sources = 0   # per-source Dijkstra runs spent on
+        #                             repairs (full swap = n_nodes each)
 
     def injected(self) -> int:
-        return self.link_faults + self.port_faults + self.corrupted
+        return (self.link_faults + self.port_faults + self.vc_faults
+                + self.corrupted + self.byzantine)
 
     def as_dict(self) -> dict:
         return {
             "injected": self.injected(),
             "link_faults": self.link_faults,
             "port_faults": self.port_faults,
+            "vc_faults": self.vc_faults,
             "corrupted": self.corrupted,
-            "detected": self.corrupted,  # every corruption is detected
+            # every corruption (in-flight or byzantine) is detected
+            "detected": self.corrupted + self.byzantine,
             "retransmissions": self.retransmissions,
             "recovered": self.recovered,
             "dropped": self.dropped,
             "reroute_decisions": self.reroute_decisions,
             "recovery_latency": self.recovery_latency.summary(),
+            "response_drops": self.response_drops,
+            "orphaned": self.orphaned,
+            "timeout_recovered": self.timeout_recovered,
+            "timeout_latency": self.timeout_latency.summary(),
+            "byzantine": self.byzantine,
+            "retables": self.retables,
+            "dijkstra_sources": self.dijkstra_sources,
         }
 
 
@@ -87,6 +111,8 @@ class FaultTimeline:
     * ``("link_clear", link_idx, fault_id)`` — that fault ends
     * ``("port", node, port, fault_id)`` — egress port dies
     * ``("port_clear", node, port, fault_id)`` — that fault ends
+    * ``("vc", node, port, vc, fault_id)`` — input VC stops draining
+    * ``("vc_clear", node, port, vc, fault_id)`` — that fault ends
     """
 
     def __init__(self, spec, n_links: int,
@@ -117,6 +143,12 @@ class FaultTimeline:
             if pf.duration is not None:
                 self._push(pf.start + pf.duration,
                            ("port_clear", pf.node, pf.port, fid))
+        for sv in spec.stuck_vcs:
+            fid = self._new_fid()
+            self._push(sv.start, ("vc", sv.node, sv.port, sv.vc, fid))
+            if sv.duration is not None:
+                self._push(sv.start + sv.duration,
+                           ("vc_clear", sv.node, sv.port, sv.vc, fid))
         # Fault ids above this mark belong to the Poisson process; its
         # clear events trigger the next draw (see pop_due).
         self._n_explicit = self._next_fid

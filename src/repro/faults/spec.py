@@ -79,6 +79,35 @@ class PortFault:
 
 
 @dataclass(frozen=True)
+class StuckVcFault:
+    """One baseline-router input VC that stops draining.
+
+    The buffer keeps accepting flits (up to its depth) but the switch
+    allocator never grants it, modelling a stuck arbiter/credit wire.
+    Traffic in that VC is pinned until the fault clears; other VCs keep
+    flowing, and escape-VC adaptive routing (``recovery="reroute"``)
+    keeps the rest of the mesh live.  Baseline backend only.
+    """
+
+    node: int
+    port: int
+    vc: int = 0
+    start: int = 0
+    duration: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.node < 0 or self.port < 0 or self.vc < 0:
+            raise ValueError(
+                f"stuck-VC fault needs node/port/vc >= 0, got "
+                f"node={self.node} port={self.port} vc={self.vc}")
+        if self.start < 0:
+            raise ValueError(f"fault start must be >= 0, got {self.start}")
+        if self.duration is not None and self.duration < 1:
+            raise ValueError(
+                f"fault duration must be >= 1 (or None), got {self.duration}")
+
+
+@dataclass(frozen=True)
 class FaultSpec:
     """Everything that goes wrong in one run, and how endpoints recover.
 
@@ -104,6 +133,24 @@ class FaultSpec:
     retry_timeout:
         Cycles after a transfer's first issue beyond which it is dropped
         instead of retried.
+    response_faults:
+        Close the response-path fault loop: B/R beats (AXI) and reply
+        confirmations (baseline) are lost on dead links just like
+        requests, orphaning the issuing transaction until its
+        ``txn_timeout`` watchdog aborts it.  Off by default, which
+        preserves the historical fail-fast-only model.
+    txn_timeout:
+        Per-transaction cycle budget at the DMA/NIC endpoints: an
+        outstanding burst/packet with no response after this many cycles
+        is aborted (counted ``orphaned``) and handed to the
+        retransmission path.  ``None`` disables the watchdog.
+    stuck_vcs:
+        Explicit :class:`StuckVcFault` events (baseline backend only).
+    byzantine_rate:
+        Per-response-beat probability of byzantine corruption at the
+        AXI endpoints: a hit mangles the beat's ID (the scoreboard
+        detects and discards it — the transaction orphans) or its
+        payload/resp (surfaces as SLVERR).  AXI backend only.
     """
 
     links: tuple[LinkFault, ...] = ()
@@ -114,6 +161,10 @@ class FaultSpec:
     recovery: str = "none"
     max_retries: int = 3
     retry_timeout: int = 100_000
+    response_faults: bool = False
+    txn_timeout: int | None = None
+    stuck_vcs: tuple[StuckVcFault, ...] = ()
+    byzantine_rate: float = 0.0
 
     def __post_init__(self) -> None:
         # Normalize list/dict inputs (JSON round-trips give lists of
@@ -124,6 +175,9 @@ class FaultSpec:
         object.__setattr__(self, "ports", tuple(
             pf if isinstance(pf, PortFault) else PortFault(**pf)
             for pf in self.ports))
+        object.__setattr__(self, "stuck_vcs", tuple(
+            sv if isinstance(sv, StuckVcFault) else StuckVcFault(**sv)
+            for sv in self.stuck_vcs))
         if not 0.0 <= self.link_rate < 1.0:
             raise ValueError(
                 f"link_rate must be in [0, 1) faults/cycle, got "
@@ -144,13 +198,22 @@ class FaultSpec:
         if self.retry_timeout < 1:
             raise ValueError(
                 f"retry_timeout must be >= 1, got {self.retry_timeout}")
+        if self.txn_timeout is not None and self.txn_timeout < 1:
+            raise ValueError(
+                f"txn_timeout must be >= 1 (or None), got "
+                f"{self.txn_timeout}")
+        if not 0.0 <= self.byzantine_rate <= 1.0:
+            raise ValueError(
+                f"byzantine_rate must be in [0, 1], got "
+                f"{self.byzantine_rate}")
 
     def active(self) -> bool:
         """True if this spec injects anything at all.  An inactive spec
         is behaviourally identical to ``faults=None`` (no controller,
         no models, bit-identical results)."""
-        return bool(self.links or self.ports
-                    or self.link_rate > 0.0 or self.corrupt_rate > 0.0)
+        return bool(self.links or self.ports or self.stuck_vcs
+                    or self.link_rate > 0.0 or self.corrupt_rate > 0.0
+                    or self.byzantine_rate > 0.0)
 
     # -- serialization -------------------------------------------------
     def to_dict(self) -> dict:

@@ -270,9 +270,23 @@ class NocNetwork:
                     "recovery='reroute' needs routing='computed': the "
                     "per-hop address tables are frozen at build time "
                     "and cannot swap to the up*/down* fault tables")
+            if faults.stuck_vcs:
+                raise ValueError(
+                    "stuck_vcs is a packet-baseline fault model: the AXI "
+                    "mesh has no router VCs to pin")
+            if faults.response_faults and faults.txn_timeout is None:
+                raise ValueError(
+                    "response_faults needs txn_timeout: with responses "
+                    "lost on dead links, only the per-transaction "
+                    "watchdog can terminate the orphans")
             self.fault_stats = stats = FaultStats()
             mem_tiles = [b for b in self.tiles if b.memory is not None]
-            rngs = fault_rngs(fault_seed, 1 + len(mem_tiles))
+            dma_tiles = [t for t in self.tiles if t.dma is not None]
+            # Child streams are index-stable, so appending the per-DMA
+            # byzantine streams after the memory streams leaves every
+            # pre-existing stream (timeline, corruption) untouched.
+            n_byz = len(dma_tiles) if faults.byzantine_rate > 0.0 else 0
+            rngs = fault_rngs(fault_seed, 1 + len(mem_tiles) + n_byz)
             timeline = FaultTimeline(faults, len(self._mesh_links),
                                      rng=rngs[0],
                                      link_index=self._mesh_link_index)
@@ -280,7 +294,6 @@ class NocNetwork:
                 # One independent stream per memory: corruption draws
                 # happen in that memory's burst-arrival order, which
                 # both kernel modes produce identically.
-                dma_tiles = [t for t in self.tiles if t.dma is not None]
                 for k, built in enumerate(mem_tiles):
                     mnode = built.spec.node
                     hops = {
@@ -293,9 +306,23 @@ class NocNetwork:
             if faults.recovery == "retransmit":
                 policy = RetransmitPolicy(faults.max_retries,
                                           faults.retry_timeout, stats)
-                for built in self.tiles:
-                    if built.dma is not None:
-                        built.dma.fault_policy = policy
+                for built in dma_tiles:
+                    built.dma.fault_policy = policy
+            for k, built in enumerate(dma_tiles):
+                dma = built.dma
+                dma.fault_stats = stats
+                dma._txn_timeout = faults.txn_timeout
+                dma._resp_tolerant = faults.response_faults
+                if n_byz:
+                    dma._byz_rate = faults.byzantine_rate
+                    dma._byz_rng = rngs[1 + len(mem_tiles) + k]
+                if (faults.txn_timeout is not None or n_byz
+                        or faults.response_faults):
+                    # Static dispatch: shadow the class-level fast sink
+                    # with the guarded one so the fault-free hot path
+                    # pays nothing per beat (DESIGN.md §10).
+                    dma._armed = True
+                    dma._sink = dma._sink_armed
             reroute = faults.recovery == "reroute"
             self._fault_controller = FaultController(
                 "faults", timeline, stats, self.xps,
@@ -303,7 +330,9 @@ class NocNetwork:
                 topology=self.topology if reroute else None,
                 routers=routers if reroute else None,
                 dest_nodes=(frozenset(endpoint_nodes.values())
-                            if reroute else None))
+                            if reroute else None),
+                response_faults=faults.response_faults,
+                release_grace=max(4096, 2 * (faults.txn_timeout or 0)))
 
         # -- registration ------------------------------------------------------
         # The fault controller steps first so a head stalled at cycle t

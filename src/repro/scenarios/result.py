@@ -15,12 +15,19 @@ import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-#: Flat CSV column order (counters/faults are JSON-encoded into one cell).
+#: Flat CSV column order (counters/faults are JSON-encoded into one
+#: cell; the fault-loop headline numbers additionally get flat columns
+#: so spreadsheet filters don't need to parse the JSON).
 CSV_COLUMNS = [
     "name", "backend", "label", "load", "seed", "cycles",
     "throughput_gib_s", "utilization_pct",
-    "latency_p50", "latency_p90", "latency_p99", "counters", "faults",
+    "latency_p50", "latency_p90", "latency_p99",
+    "response_errors", "orphaned", "timeout_recovered",
+    "counters", "faults",
 ]
+
+#: Flat columns pulled out of the ``faults`` report dict.
+_FAULT_COLUMNS = ("orphaned", "timeout_recovered")
 
 
 @dataclass(frozen=True)
@@ -55,9 +62,14 @@ class Result:
     def csv_row(self) -> list:
         row = []
         for col in CSV_COLUMNS:
-            value = getattr(self, col)
-            if col in ("counters", "faults"):
-                value = json.dumps(value, sort_keys=True)
+            if col == "response_errors":
+                value = self.counters.get("response_errors", 0)
+            elif col in _FAULT_COLUMNS:
+                value = self.faults.get(col, 0)
+            else:
+                value = getattr(self, col)
+                if col in ("counters", "faults"):
+                    value = json.dumps(value, sort_keys=True)
             row.append("" if value is None else value)
         return row
 

@@ -226,11 +226,36 @@ def run_sweep(points: Sweep | list[Scenario], *, jobs: int = 1,
         print(f"run_sweep: {len(failed)}/{len(points)} point(s) failed "
               f"after one retry:", file=sys.stderr)
         for i, exc in failed:
-            print(f"  [{i}] {points[i].label}: "
+            print(f"  [{i}] {points[i].label}{_fault_axes(points[i])}: "
                   f"{type(exc).__name__}: {exc}", file=sys.stderr)
     if out is not None:
         save_artifacts(points, results, out)
     return results
+
+
+def _fault_axes(sc: Scenario) -> str:
+    """A failed point's fault coordinates for the stderr report: the
+    label alone cannot distinguish points that differ only in fault
+    axes (rate, recovery mode, response-path knobs)."""
+    f = sc.faults
+    if f is None or not f.active():
+        return ""
+    parts = [f"recovery={f.recovery}"]
+    if f.link_rate:
+        parts.append(f"link_rate={f.link_rate:g}")
+    if f.corrupt_rate:
+        parts.append(f"corrupt_rate={f.corrupt_rate:g}")
+    if f.response_faults:
+        parts.append(f"response_faults txn_timeout={f.txn_timeout}")
+    if f.byzantine_rate:
+        parts.append(f"byzantine_rate={f.byzantine_rate:g}")
+    if f.links:
+        parts.append(f"links={len(f.links)}")
+    if f.ports:
+        parts.append(f"ports={len(f.ports)}")
+    if f.stuck_vcs:
+        parts.append(f"stuck_vcs={len(f.stuck_vcs)}")
+    return " (" + ", ".join(parts) + ")"
 
 
 def save_artifacts(points: list[Scenario], results: list[Result],

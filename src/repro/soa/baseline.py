@@ -100,6 +100,7 @@ class SoaMeshKernel:
             used = 0  # bitmask of input ports granted this cycle
             dead = router.fault_dead
             deg = router.fault_degraded
+            stuck = router.fault_stuck
             for out_port in range(N_PORTS):
                 start = sa[out_port]
                 # Set bits of `mask`, visited in rotated order from
@@ -123,6 +124,9 @@ class SoaMeshKernel:
                     state = states[idx]
                     if state.dropping:
                         continue  # packet lost at a dead egress; draining
+                    if (stuck is not None
+                            and (in_port, idx - in_port * n_vcs) in stuck):
+                        continue  # stuck VC: flits pinned while faulted
                     if state.out_port is None:
                         if not flit.is_head:
                             raise AssertionError(

@@ -359,39 +359,48 @@ class SoaNocFabric(Component):
                     busy = True
                     b_q = blk[2]
                     if b_q and b_q[0] < b_th:
-                        packed = b_q.popleft()
-                        blk[1].popped += 1
-                        if not b_q:
-                            cell[0] -= 1
-                        dma._complete(dma._wr_out, dma._wr_free,
-                                      (packed >> 2) & 0xFFFF, packed & 3, now)
+                        if not dma._armed:
+                            packed = b_q.popleft()
+                            blk[1].popped += 1
+                            if not b_q:
+                                cell[0] -= 1
+                            dma._complete(dma._wr_out, dma._wr_free,
+                                          (packed >> 2) & 0xFFFF,
+                                          packed & 3, now)
+                        else:
+                            beat = blk[1].pop(now)
+                            dma._sink_b_guarded(beat.id, beat.resp, now)
                     r_q = blk[4]
                     if r_q and r_q[0] < r_th:
-                        packed = r_q.popleft()
-                        blk[3].popped += 1
-                        if not r_q:
-                            cell[0] -= 1
-                        resp = (packed >> 1) & 3
-                        if not resp:  # error beats carry no payload credit
-                            nbytes = (packed >> 3) & 0x7FFF
-                            meter = blk[11]
-                            meter.bytes_total += nbytes
-                            if now >= meter.warmup_cycles:
-                                meter.bytes_measured += nbytes
-                            dma.bytes_read += nbytes
-                        rid = (packed >> 18) & 0xFFFF
-                        entry = dma._rd_out.get(rid)
-                        if entry is None:
-                            raise AssertionError(
-                                f"{dma.name}: R beat for unknown id {rid}")
-                        entry[2] -= 1
-                        if (packed & 1) != (entry[2] == 0):
-                            raise AssertionError(
-                                f"{dma.name}: R burst length mismatch on "
-                                f"id {rid}")
-                        if packed & 1:
-                            dma._complete(dma._rd_out, dma._rd_free, rid,
-                                          resp, now)
+                        if dma._armed:
+                            dma._sink_r_guarded(blk[3].pop(now), now)
+                        else:
+                            packed = r_q.popleft()
+                            blk[3].popped += 1
+                            if not r_q:
+                                cell[0] -= 1
+                            resp = (packed >> 1) & 3
+                            if not resp:  # error beats carry no credit
+                                nbytes = (packed >> 3) & 0x7FFF
+                                meter = blk[11]
+                                meter.bytes_total += nbytes
+                                if now >= meter.warmup_cycles:
+                                    meter.bytes_measured += nbytes
+                                dma.bytes_read += nbytes
+                            rid = (packed >> 18) & 0xFFFF
+                            entry = dma._rd_out.get(rid)
+                            if entry is None:
+                                raise AssertionError(
+                                    f"{dma.name}: R beat for unknown id "
+                                    f"{rid}")
+                            entry[2] -= 1
+                            if (packed & 1) != (entry[2] == 0):
+                                raise AssertionError(
+                                    f"{dma.name}: R burst length mismatch "
+                                    f"on id {rid}")
+                            if packed & 1:
+                                dma._complete(dma._rd_out, dma._rd_free,
+                                              rid, resp, now)
                 w_emit = blk[10]
                 if w_emit:  # stream one W beat in AW order
                     busy = True
@@ -415,6 +424,10 @@ class SoaNocFabric(Component):
                         blk[5].pushed += 1
                         if e.issued >= e.beats:
                             w_emit.popleft()
+                # Abort orphaned transactions before considering new
+                # issues (same position as DmaEngine.step).
+                if dma._txn_timeout is not None:
+                    dma._check_timeouts(now)
                 # Issue at most one burst per cycle (cold path reused).
                 if (now >= dma._idle_until
                         and (dma._cur is not None or dma._pending)):
@@ -569,10 +582,11 @@ class SoaNocFabric(Component):
         return self._quiet_scan(self._last_now)
 
     def next_event(self, now: int) -> int | None:
+        # Delegate per engine: descriptor-gap wakes plus (when the
+        # watchdog is armed) txn-timeout deadlines and zombie expiries.
         wake = None
         for dma in self._dmas:
-            if dma._pending or dma._cur is not None:
-                due = dma._idle_until
-                if wake is None or due < wake:
-                    wake = due
+            due = dma.next_event(now)
+            if due is not None and (wake is None or due < wake):
+                wake = due
         return wake

@@ -84,6 +84,86 @@ def test_reroute_kernels_match_always_step(name, seed, kernel):
     assert candidate["faults"]["link_faults"] > 0
 
 
+#: Response-path fault set: a transient dead pair drops B/R beats of
+#: in-flight transactions (not just requests), the per-transaction
+#: watchdog aborts the orphans into retransmission, and late responses
+#: land on zombie entries during the grace window.  Every one of those
+#: mechanisms must be cycle-exact across kernels.
+RESPONSE_FAULTS = FaultSpec(
+    links=[{"src": 0, "dst": 1, "start": 100, "duration": 600},
+           {"src": 1, "dst": 0, "start": 100, "duration": 600}],
+    link_rate=8e-3, link_duration=400, recovery="retransmit",
+    response_faults=True, txn_timeout=800)
+
+
+@pytest.mark.parametrize("kernel", ["activity", "soa"])
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_response_fault_kernels_match_always_step(name, seed, kernel):
+    """Response-path faults (dropped replies, orphan timeouts, zombie
+    grace, timed retransmissions) are bit-identical across all three
+    kernels — the watchdog deadlines feed the activity kernel's wake
+    heap, so a missed wake would show up here as a drain-cycle skew."""
+    cfg, traffic_kwargs = CONFIGS[name]
+    candidate = observe(cfg, traffic_kwargs, seed, kernel=kernel,
+                        faults=RESPONSE_FAULTS)
+    reference = observe(cfg, traffic_kwargs, seed, always_step=True,
+                        faults=RESPONSE_FAULTS)
+    for key in reference:
+        assert candidate[key] == reference[key], key
+    assert reference["faults"]["link_faults"] > 0
+    assert reference["drain_cycle"] > 0  # the sim terminated
+
+
+#: Stuck-VC faults on the packet baseline: one transient and one
+#: permanent stuck slot.  The config leaves VC 1 free on every port so
+#: the mesh must stay live around the pinned buffers.
+STUCK_VC_FAULTS = FaultSpec(
+    stuck_vcs=[{"node": 5, "port": 1, "vc": 0, "start": 300,
+                "duration": 900},
+               {"node": 10, "port": 3, "vc": 1, "start": 600}])
+
+BASELINE_STUCK_CONFIGS = {
+    "vc2buf8": dict(n_vcs=2, buf_depth=8),
+    "vc4buf16": dict(n_vcs=4, buf_depth=16),
+}
+
+
+def observe_baseline(cfgkw: dict, seed: int, kernel: str,
+                     faults: FaultSpec | None = None):
+    from repro.baseline.network import PacketMesh, PacketMeshConfig
+
+    mesh = PacketMesh(PacketMeshConfig(**cfgkw), injection_rate=0.25,
+                      seed=seed, kernel=kernel, faults=faults,
+                      fault_seed=seed)
+    mesh.run(2500)
+    return {
+        "packets_received": mesh.packets_received,
+        "packets_dropped": mesh.packets_dropped,
+        "flits_received": mesh.flits_received,
+        "latency": mesh.latency.summary(),
+        "faults": mesh.fault_report(),
+    }
+
+
+@pytest.mark.parametrize("kernel", ["activity", "soa"])
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", sorted(BASELINE_STUCK_CONFIGS))
+def test_stuck_vc_kernels_match_always_step(name, seed, kernel):
+    """Stuck-VC faults on baseline routers (slots pinned out of switch
+    allocation) are bit-identical across the reference router loop and
+    the SoA flat-array kernel."""
+    cfgkw = BASELINE_STUCK_CONFIGS[name]
+    candidate = observe_baseline(cfgkw, seed, kernel,
+                                 faults=STUCK_VC_FAULTS)
+    reference = observe_baseline(cfgkw, seed, "always",
+                                 faults=STUCK_VC_FAULTS)
+    for key in reference:
+        assert candidate[key] == reference[key], key
+    assert reference["faults"]["vc_faults"] == 2
+    assert reference["packets_received"] > 0  # mesh stays live
+
+
 @pytest.mark.parametrize("kernel", ["activity", "soa"])
 @pytest.mark.parametrize("seed", SEEDS)
 @pytest.mark.parametrize("name", sorted(CONFIGS))

@@ -1,0 +1,361 @@
+"""Response-path fault loop (DESIGN.md §10): B/R beats and baseline
+reply packets die on dead links like requests do, per-transaction
+watchdogs abort the resulting orphans into retransmission, stuck VCs
+pin baseline router slots, byzantine beats are detected (not crashed
+on), and up*/down* churn repairs tables incrementally.
+
+The adversarial core: a *dead response path* used to hang the drain
+loop forever (the simplification these tests retire).  Every test here
+asserts the sim terminates — no hang, no SimulationTimeout — while the
+orphan/timeout accounting stays exact.
+"""
+
+import pytest
+
+from repro.axi.transaction import Transfer
+from repro.baseline.network import PacketMesh, PacketMeshConfig
+from repro.baseline.nic import PacketNic
+from repro.faults import FaultSpec, LinkFault
+from repro.faults.spec import StuckVcFault
+from repro.noc.config import NocConfig
+from repro.noc.network import NocNetwork
+from repro.noc.reroute import RouteCache, compute_fault_tables
+from repro.noc.topology import Mesh2D
+from repro.traffic.uniform import uniform_random
+
+KERNELS = ["activity", "always", "soa"]
+
+
+# ----------------------------------------------------------------------
+# Spec layer: new fields validate, coerce, and round-trip
+# ----------------------------------------------------------------------
+class TestSpec:
+    def test_round_trip(self):
+        spec = FaultSpec(
+            links=[LinkFault(0, 1, start=100, duration=500)],
+            recovery="retransmit", response_faults=True, txn_timeout=800,
+            stuck_vcs=[StuckVcFault(5, 1, 0, start=200, duration=400)],
+            byzantine_rate=1e-4)
+        again = FaultSpec.from_json(spec.to_json())
+        assert again == spec
+        assert isinstance(again.stuck_vcs[0], StuckVcFault)
+
+    def test_stuck_vc_dicts_normalized(self):
+        spec = FaultSpec(stuck_vcs=[{"node": 3, "port": 2, "vc": 1}])
+        assert spec.stuck_vcs == (StuckVcFault(3, 2, 1),)
+
+    def test_new_fields_make_spec_active(self):
+        assert FaultSpec(stuck_vcs=[StuckVcFault(0, 0, 0)]).active()
+        assert FaultSpec(byzantine_rate=1e-5).active()
+        # response_faults/txn_timeout alone arm nothing: they change how
+        # faults behave, they are not faults themselves.
+        assert not FaultSpec(response_faults=True, txn_timeout=100).active()
+
+    @pytest.mark.parametrize("bad", [
+        dict(txn_timeout=0),
+        dict(txn_timeout=-5),
+        dict(byzantine_rate=1.5),
+        dict(byzantine_rate=-0.1),
+        dict(stuck_vcs=[{"node": -1, "port": 0, "vc": 0}]),
+        dict(stuck_vcs=[{"node": 0, "port": 0, "vc": 0, "duration": 0}]),
+    ])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            FaultSpec(**bad)
+
+
+class TestBackendValidation:
+    def test_axi_rejects_stuck_vcs(self):
+        with pytest.raises(ValueError, match="stuck_vcs"):
+            NocNetwork(NocConfig(rows=2, cols=2),
+                       faults=FaultSpec(stuck_vcs=[StuckVcFault(0, 1, 0)]),
+                       fault_seed=1)
+
+    def test_axi_response_faults_need_txn_timeout(self):
+        with pytest.raises(ValueError, match="txn_timeout"):
+            NocNetwork(NocConfig(rows=2, cols=2),
+                       faults=FaultSpec(links=[LinkFault(0, 1)],
+                                        response_faults=True),
+                       fault_seed=1)
+
+    def test_baseline_rejects_byzantine(self):
+        with pytest.raises(ValueError, match="byzantine"):
+            PacketMesh(PacketMeshConfig(),
+                       faults=FaultSpec(byzantine_rate=1e-4), fault_seed=1)
+
+    def test_baseline_response_faults_need_txn_timeout(self):
+        with pytest.raises(ValueError, match="txn_timeout"):
+            PacketMesh(PacketMeshConfig(),
+                       faults=FaultSpec(links=[LinkFault(0, 1)],
+                                        response_faults=True),
+                       fault_seed=1)
+
+
+# ----------------------------------------------------------------------
+# AXI mesh: orphaned transactions terminate via the watchdog
+# ----------------------------------------------------------------------
+def _run_axi(faults, *, seed=7, load=0.5, cycles=1200, kernel="activity"):
+    net = NocNetwork(NocConfig.slim(), kernel=kernel, faults=faults,
+                     fault_seed=seed)
+    traffic = uniform_random(net, load=load, max_burst_bytes=1000,
+                             seed=seed).install()
+    net.run(cycles)
+    traffic.quiesce()
+    net.drain(max_cycles=200_000)
+    return net
+
+
+class TestAxiOrphans:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("recovery", ["none", "retransmit"])
+    def test_dead_response_path_always_drains(self, recovery, kernel):
+        """A permanent dead pair plus hot link churn: responses of
+        in-flight transactions die on the faulted links.  Whatever the
+        recovery policy, the watchdog aborts the orphans and the drain
+        loop reaches a real fixpoint — this sim used to hang forever
+        here."""
+        spec = FaultSpec(links=[LinkFault(0, 1, start=200),
+                                LinkFault(1, 0, start=200)],
+                         link_rate=8e-3, link_duration=400,
+                         recovery=recovery, response_faults=True,
+                         txn_timeout=800)
+        net = _run_axi(spec, kernel=kernel)
+        f = net.fault_report()
+        assert net.idle()  # drained, not timed out
+        assert f["response_drops"] > 0
+        assert f["orphaned"] > 0
+        if recovery == "none":
+            # Orphans cannot retry: every one is dropped.
+            assert f["dropped"] >= f["orphaned"]
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_transient_window_timeout_recovery(self, kernel):
+        """Responses lost inside transient dead windows are recovered
+        by timed retransmission once the links heal; the timeout-latency
+        histogram counts exactly the recovered orphans."""
+        spec = FaultSpec(link_rate=8e-3, link_duration=400,
+                         recovery="retransmit", max_retries=8,
+                         response_faults=True, txn_timeout=800)
+        net = _run_axi(spec, kernel=kernel)
+        f = net.fault_report()
+        assert net.idle()
+        assert f["response_drops"] > 0
+        assert f["orphaned"] > 0
+        assert f["timeout_recovered"] > 0
+        assert f["timeout_latency"]["count"] == f["timeout_recovered"]
+        # A timeout recovery costs at least the watchdog budget.
+        assert f["timeout_latency"]["min"] >= spec.txn_timeout
+
+    def test_directed_read_orphan_lifecycle(self):
+        """Closed-form adversarial case: a multi-burst read whose R
+        stream is cut by a link that dies permanently mid-response.
+        Every retry re-orphans against the dead path until the budget
+        runs out; the caller is still released and the sim drains."""
+        spec = FaultSpec(links=[LinkFault(0, 1, start=300)],
+                         recovery="retransmit", max_retries=4,
+                         response_faults=True, txn_timeout=500)
+        net = NocNetwork(NocConfig(rows=2, cols=2), faults=spec,
+                         fault_seed=1)
+        done = []
+        net.dmas[0].submit(Transfer(
+            src=0, addr=net.addr_of(1, 0), nbytes=4096, is_read=True,
+            on_complete=lambda now: done.append(now)))
+        net.drain(max_cycles=100_000)
+        f = net.fault_report()
+        assert done  # the caller is released either way
+        assert net.idle()
+        assert f["response_drops"] > 0
+        assert f["orphaned"] > 0
+        assert f["dropped"] > 0  # retry budget exhausted, not hung
+
+
+# ----------------------------------------------------------------------
+# AXI mesh: byzantine corruption is detected, never fatal
+# ----------------------------------------------------------------------
+class TestByzantine:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_high_rate_never_crashes(self, kernel):
+        """A hot byzantine stream (mangled IDs and payloads) is absorbed
+        by the guarded sinks: detected and discarded or SLVERR-completed,
+        with the drain still reaching a fixpoint."""
+        spec = FaultSpec(byzantine_rate=2e-3, recovery="retransmit",
+                         txn_timeout=900)
+        net = _run_axi(spec, kernel=kernel)
+        f = net.fault_report()
+        assert net.idle()
+        assert f["byzantine"] > 0
+        assert f["detected"] == f["corrupted"] + f["byzantine"]
+
+    def test_byzantine_matches_across_kernels(self):
+        spec = FaultSpec(byzantine_rate=1e-3, recovery="retransmit",
+                         txn_timeout=900)
+
+        def observe(kernel):
+            net = _run_axi(spec, kernel=kernel)
+            return (net.sim.now, net.total_bytes(),
+                    net.transfers_completed(), net.counters.as_dict(),
+                    net.fault_report())
+
+        always = observe("always")
+        assert observe("activity") == always
+        assert observe("soa") == always
+
+
+# ----------------------------------------------------------------------
+# Packet baseline: NIC reply watchdog closes the loop
+# ----------------------------------------------------------------------
+def _nic_mesh(spec, *, kernel="activity", cycles=30_000):
+    mesh = PacketMesh(PacketMeshConfig(n_vcs=2, buf_depth=8),
+                      injection_rate=0.0, seed=3, kernel=kernel,
+                      faults=spec, fault_seed=3)
+    nic = PacketNic(mesh, 0)
+    mesh.sim.add(nic)
+    nic.submit(Transfer(src=0, addr=0, nbytes=512, is_read=False), 3)
+    mesh.run(cycles)
+    return mesh, nic
+
+
+class TestBaselineReplyWatchdog:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_dead_reply_path_recovers(self, kernel):
+        """node0 -> node3 payload whose replies cross a link that is
+        dead for a long window: every attempt inside the window orphans
+        and retransmits; the first attempt after it heals is credited
+        once (token dedup) and confirmed."""
+        spec = FaultSpec(links=[LinkFault(1, 0, start=50, duration=3000)],
+                         recovery="retransmit", max_retries=8,
+                         response_faults=True, txn_timeout=400)
+        mesh, nic = _nic_mesh(spec, kernel=kernel)
+        f = mesh.fault_report()
+        assert nic.idle()  # nothing outstanding: the watchdog settled
+        assert f["orphaned"] > 0
+        assert f["timeout_recovered"] > 0
+        assert mesh.bytes_received == 512  # credited exactly once
+
+    def test_watchdog_identical_across_kernels(self):
+        spec = FaultSpec(links=[LinkFault(1, 0, start=50, duration=3000)],
+                         recovery="retransmit", max_retries=8,
+                         response_faults=True, txn_timeout=400)
+
+        def observe(kernel):
+            mesh, _nic = _nic_mesh(spec, kernel=kernel)
+            return (mesh.bytes_received, mesh.packets_received,
+                    mesh.fault_report())
+
+        always = observe("always")
+        assert observe("activity") == always
+        assert observe("soa") == always
+
+    def test_no_recovery_orphans_are_dropped(self):
+        """recovery='none': the watchdog still terminates every orphan
+        (counts it dropped) instead of hanging on the lost reply."""
+        spec = FaultSpec(links=[LinkFault(1, 0, start=50)],
+                         recovery="none", response_faults=True,
+                         txn_timeout=400)
+        mesh, nic = _nic_mesh(spec, cycles=10_000)
+        f = mesh.fault_report()
+        assert nic.idle()
+        assert f["orphaned"] > 0
+        assert f["dropped"] == f["orphaned"]
+        assert f["timeout_recovered"] == 0
+
+
+# ----------------------------------------------------------------------
+# Packet baseline: stuck VCs pin slots, mesh stays live
+# ----------------------------------------------------------------------
+class TestStuckVc:
+    def _mesh(self, spec, *, cfgkw=None, cycles=4000, rate=0.15):
+        mesh = PacketMesh(PacketMeshConfig(**(cfgkw or dict(n_vcs=2,
+                                                            buf_depth=8))),
+                          injection_rate=rate, seed=3, faults=spec,
+                          fault_seed=3)
+        mesh.run(cycles)
+        return mesh
+
+    def test_permanent_stuck_vc_keeps_mesh_live(self):
+        """One VC stuck on a center-node port: flits in it are pinned,
+        but the sibling VC keeps the mesh delivering."""
+        spec = FaultSpec(stuck_vcs=[StuckVcFault(5, 1, 0, start=300)])
+        mesh = self._mesh(spec)
+        before = self._mesh(None)
+        assert mesh.fault_report()["vc_faults"] == 1
+        assert mesh.packets_received > 0
+        assert mesh.packets_received <= before.packets_received
+
+    def test_transient_stuck_vc_releases_flits(self):
+        """The pinned flits are not lost: when the fault clears the slot
+        re-enters allocation and the mesh converges back to the clean
+        delivery count."""
+        spec = FaultSpec(stuck_vcs=[StuckVcFault(5, 1, 0, start=300,
+                                                 duration=500)])
+        stuck = self._mesh(spec, cycles=8000)
+        clean = self._mesh(None, cycles=8000)
+        assert stuck.fault_report()["vc_faults"] == 1
+        assert stuck.packets_dropped == clean.packets_dropped == 0
+        assert stuck.flits_received == clean.flits_received
+
+    def test_escape_vc_reroute_survives_stuck_vcs(self):
+        """Adaptive escape-VC routing with stuck slots on the adaptive
+        layer: the escape layer stays clean, so delivery continues."""
+        spec = FaultSpec(stuck_vcs=[StuckVcFault(5, 1, 1, start=300),
+                                    StuckVcFault(6, 3, 2, start=300)],
+                         recovery="reroute")
+        mesh = self._mesh(spec, cfgkw=dict(n_vcs=4, buf_depth=16))
+        assert mesh.fault_report()["vc_faults"] == 2
+        assert mesh.packets_received > 0
+
+
+# ----------------------------------------------------------------------
+# Churn repair: RouteCache is bit-identical to full swaps, and cheaper
+# ----------------------------------------------------------------------
+class TestRouteCacheChurn:
+    def _churn_sequence(self, topo):
+        """A realistic fault churn: links die, degrade, heal, die again
+        — expressed as (dead set, degraded map) states."""
+        links = list(topo.directed_links())
+        # Undirected pairs as ((src, port), (dst, in_port)).
+        a = (links[3][0], links[3][1]), (links[3][2], links[3][3])
+        b = (links[10][0], links[10][1]), (links[10][2], links[10][3])
+        c = (links[17][0], links[17][1])
+        states = [
+            (set(), {}),
+            ({a[0], a[1]}, {}),                       # link a dies
+            ({a[0], a[1], b[0], b[1]}, {}),           # link b dies too
+            ({a[0], a[1], b[0], b[1]}, {c: 0.5}),     # link c degrades
+            ({b[0], b[1]}, {c: 0.5}),                 # link a heals
+            ({b[0], b[1]}, {}),                       # link c heals
+            (set(), {}),                              # all clear
+            ({a[0], a[1]}, {}),                       # a dies again
+        ]
+        return states
+
+    def test_repair_matches_full_swap_exactly(self):
+        topo = Mesh2D(4, 4)
+        dests = frozenset(range(topo.n_nodes))
+        cache = RouteCache(topo, dests)
+        for dead, degraded in self._churn_sequence(topo):
+            repaired = cache.tables(dead, degraded)
+            full = compute_fault_tables(topo, dead, degraded, dests)
+            assert repaired == full
+
+    def test_repair_is_cheaper_than_full_swaps(self):
+        """Across the churn sequence, incremental repair runs fewer
+        per-source Dijkstras than the retable-count times n_nodes a
+        full-swap policy would spend."""
+        topo = Mesh2D(4, 4)
+        cache = RouteCache(topo, frozenset(range(topo.n_nodes)))
+        for dead, degraded in self._churn_sequence(topo):
+            cache.tables(dead, degraded)
+        assert cache.retables > 0
+        assert cache.dijkstra_sources < cache.retables * topo.n_nodes
+
+    def test_scenario_churn_reports_repair_cost(self):
+        """End-to-end: a Poisson-churn reroute run reports retables and
+        dijkstra_sources in its fault section, with the repair saving
+        visible against the n_nodes-per-retable full-swap cost."""
+        spec = FaultSpec(link_rate=4e-3, link_duration=300,
+                         recovery="reroute")
+        net = _run_axi(spec, load=0.4, cycles=2000)
+        f = net.fault_report()
+        assert f["retables"] > 0
+        assert 0 < f["dijkstra_sources"] <= f["retables"] * 16
