@@ -46,10 +46,13 @@ from repro.scenarios import (
     LinkFault,
     MeasureSpec,
     PortFault,
+    ProgressEvent,
     Result,
     Scenario,
     SimulationTimeout,
     Sweep,
+    SweepResults,
+    SweepStats,
     TopologySpec,
     TrafficSpec,
     run_scenario,
@@ -57,6 +60,7 @@ from repro.scenarios import (
     sweep,
 )
 from repro.sim import Simulator
+from repro.store import ResultStore, code_fingerprint
 
 __version__ = "1.1.0"
 
@@ -70,11 +74,15 @@ __all__ = [
     "NocNetwork",
     "Region",
     "PortFault",
+    "ProgressEvent",
     "Result",
+    "ResultStore",
     "Scenario",
     "SimulationTimeout",
     "Simulator",
     "Sweep",
+    "SweepResults",
+    "SweepStats",
     "TileSpec",
     "TopologySpec",
     "Torus2D",
@@ -82,6 +90,7 @@ __all__ = [
     "Transfer",
     "bisection_gbit_s",
     "bisection_gib_s",
+    "code_fingerprint",
     "ring",
     "run_scenario",
     "run_sweep",

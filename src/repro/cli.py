@@ -6,8 +6,10 @@ Usage::
     patronoc list
     patronoc run fig4 [--quick] [--seed N] [--csv DIR] [--json DIR]
     patronoc run all --quick
-    patronoc sweep spec.json --jobs 4 --out artifacts/
+    patronoc sweep spec.json --jobs 4 --out artifacts/ --cache rw --progress
     patronoc info AXI_32_512_4 --rows 4 --cols 4 --mot 8
+    patronoc serve --port 8078 --jobs 4 --store artifacts/store
+    patronoc cache stats|gc|verify --store artifacts/store
     python -m repro run fig8
 """
 
@@ -43,6 +45,13 @@ def build_parser() -> argparse.ArgumentParser:
     runp.add_argument("--profile", action="store_true",
                       help="run under cProfile and print the top-25 "
                            "cumulative-time entries per experiment")
+    runp.add_argument("--cache", choices=["off", "ro", "rw"], default="off",
+                      help="consult the result store around every "
+                           "scenario the experiment measures (opt-in "
+                           "caching for the eval runners; store root "
+                           "from --store / REPRO_STORE)")
+    runp.add_argument("--store", metavar="DIR", default=None,
+                      help="result-store root for --cache")
     sweepp = sub.add_parser(
         "sweep", help="run a user-defined scenario sweep from a spec file")
     sweepp.add_argument("spec",
@@ -60,6 +69,49 @@ def build_parser() -> argparse.ArgumentParser:
                         help="force fidelity='quick' on every point")
     sweepp.add_argument("--out", metavar="DIR", default=None,
                         help="write results.json + results.csv into DIR")
+    sweepp.add_argument("--cache", choices=["off", "ro", "rw"],
+                        default="off",
+                        help="result-store mode: 'rw' serves repeat "
+                             "points from the store and writes fresh "
+                             "ones back (incremental sweeps), 'ro' "
+                             "only serves, 'off' (default) simulates "
+                             "everything")
+    sweepp.add_argument("--store", metavar="DIR", default=None,
+                        help="result-store root (default: REPRO_STORE "
+                             "env or ~/.cache/repro-store)")
+    sweepp.add_argument("--progress", action="store_true",
+                        help="print done/total per-point progress to "
+                             "stderr as points finalize")
+    servep = sub.add_parser(
+        "serve", help="run the scenario service (HTTP front end over "
+                      "the sweep pool and the result store)")
+    servep.add_argument("--host", default="127.0.0.1")
+    servep.add_argument("--port", type=int, default=8078,
+                        help="TCP port (0 = pick an ephemeral port)")
+    servep.add_argument("--jobs", type=int, default=1,
+                        help="default worker processes per job")
+    servep.add_argument("--cache", choices=["off", "ro", "rw"],
+                        default="rw",
+                        help="default result-store mode for submitted "
+                             "jobs (default rw)")
+    servep.add_argument("--store", metavar="DIR", default=None,
+                        help="result-store root (default: REPRO_STORE "
+                             "env or ~/.cache/repro-store)")
+    servep.add_argument("--verbose", action="store_true",
+                        help="log every HTTP request to stderr")
+    cachep = sub.add_parser(
+        "cache", help="result-store maintenance: stats / gc / verify")
+    cachep.add_argument("op", choices=["stats", "gc", "verify"],
+                        help="stats: entry/byte counts per code "
+                             "fingerprint; gc: drop stale-fingerprint "
+                             "+ corrupt entries; verify: deep-check "
+                             "every entry against its key")
+    cachep.add_argument("--store", metavar="DIR", default=None,
+                        help="result-store root (default: REPRO_STORE "
+                             "env or ~/.cache/repro-store)")
+    cachep.add_argument("--wipe", action="store_true",
+                        help="gc: remove every entry, not just stale "
+                             "code versions")
     infop = sub.add_parser(
         "info", help="area/power/bandwidth of one configuration")
     infop.add_argument("label", help="configuration label, e.g. AXI_32_64_4")
@@ -107,6 +159,17 @@ def _profiled(fn, *args, **kwargs):
 
 
 def _run(args) -> int:
+    import os
+
+    if args.cache != "off":
+        # run_scenario's env opt-in (see its docstring): every point
+        # the experiment measures goes through the result store.
+        os.environ["REPRO_CACHE"] = args.cache
+        if args.store:
+            os.environ["REPRO_STORE"] = args.store
+    elif args.store:
+        print("error: --store requires --cache ro|rw", file=sys.stderr)
+        return 2
     measure = MeasureSpec.coerce(args.quick)
     targets = sorted(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
@@ -126,7 +189,12 @@ def _run(args) -> int:
             for path in save_csv(result, args.csv):
                 print(f"wrote {path}")
         if args.json:
-            print(f"wrote {save_json(result, args.json)}")
+            from repro.store import code_fingerprint
+
+            provenance = {"seed": args.seed,
+                          "code_fingerprint": code_fingerprint()}
+            path = save_json(result, args.json, provenance=provenance)
+            print(f"wrote {path}")
     if len(targets) > 1:
         total = sum(t for _id, t in timings)
         slowest = max(timings, key=lambda it: it[1])
@@ -141,13 +209,24 @@ def _sweep(args) -> int:
     from repro.eval.report import ExperimentResult
     from repro.scenarios import load_spec, run_sweep, save_artifacts
 
+    if args.store and args.cache == "off":
+        print("error: --store requires --cache ro|rw", file=sys.stderr)
+        return 2
     points = load_spec(args.spec)
     if args.quick:
         points = [sc.with_(measure=replace(sc.measure, fidelity="quick"))
                   for sc in points]
-    print(f"{args.spec}: {len(points)} point(s), jobs={args.jobs}")
+    print(f"{args.spec}: {len(points)} point(s), jobs={args.jobs}"
+          + (f", cache={args.cache}" if args.cache != "off" else ""))
+    on_point = None
+    if args.progress:
+        def on_point(ev):
+            print(f"[{ev.done}/{ev.total}] {ev.status:5s} "
+                  f"{ev.scenario.label}", file=sys.stderr, flush=True)
     start = time.time()
-    results = run_sweep(points, jobs=args.jobs, chunksize=args.chunksize)
+    results = run_sweep(points, jobs=args.jobs, chunksize=args.chunksize,
+                        cache=args.cache, store=args.store,
+                        on_point=on_point)
     elapsed = time.time() - start
     table = ExperimentResult("sweep", f"{len(points)} scenario point(s)")
     sec = table.section(
@@ -178,7 +257,7 @@ def _sweep(args) -> int:
                      f.get("orphaned", 0), f.get("timeout_recovered", 0),
                      rec.get("p50", 0.0), rec.get("p99", 0.0))
     print(render_text(table))
-    print(f"[sweep completed in {elapsed:.1f}s]")
+    print(f"[sweep completed in {elapsed:.1f}s — {results.stats.summary()}]")
     n_failed = sum(1 for r in results if r is None)
     if n_failed:
         print(f"WARNING: {n_failed}/{len(points)} point(s) failed "
@@ -187,6 +266,56 @@ def _sweep(args) -> int:
         for path in save_artifacts(points, results, args.out):
             print(f"wrote {path}")
     return 1 if n_failed else 0
+
+
+def _serve(args) -> int:
+    from repro.service.server import make_server
+
+    server = make_server(args.host, args.port, store=args.store,
+                         cache=args.cache, jobs=args.jobs,
+                         quiet=not args.verbose)
+    host, port = server.server_address[:2]
+    store = server.manager.store
+    print(f"scenario service on http://{host}:{port}  "
+          f"(cache={args.cache}, jobs={args.jobs}, "
+          f"store={store.root if store is not None else 'none'})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.manager.shutdown()
+        server.server_close()
+    return 0
+
+
+def _cache(args) -> int:
+    from repro.store import ResultStore
+
+    store = ResultStore.coerce(args.store)
+    if args.op == "stats":
+        stats = store.stats()
+        print(f"store {stats['root']}: {stats['entries']} entr(ies), "
+              f"{stats['bytes']} bytes")
+        print(f"current code fingerprint: {stats['code_fingerprint']}")
+        for fp, bucket in sorted(stats["fingerprints"].items()):
+            print(f"  {fp}: {bucket['entries']} entr(ies), "
+                  f"{bucket['bytes']} bytes")
+        return 0
+    if args.op == "gc":
+        report = store.gc(wipe=args.wipe)
+        print(f"gc {store.root}: removed {report['removed']} file(s), "
+              f"freed {report['freed_bytes']} bytes")
+        return 0
+    report = store.verify()
+    print(f"verify {store.root}: {report['checked']} checked, "
+          f"{report['ok']} ok, {len(report['corrupt'])} corrupt, "
+          f"{len(report['mismatched'])} mismatched")
+    for kind in ("corrupt", "mismatched"):
+        for rel in report[kind]:
+            print(f"  {kind}: {rel}", file=sys.stderr)
+    return 1 if report["corrupt"] or report["mismatched"] else 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -199,6 +328,10 @@ def main(argv: list[str] | None = None) -> int:
         return _info(args)
     if args.command == "sweep":
         return _sweep(args)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "cache":
+        return _cache(args)
     return _run(args)
 
 

@@ -6,6 +6,12 @@ where ``measure`` is a :class:`~repro.scenarios.spec.MeasureSpec` (or
 anything its ``coerce`` accepts, including the legacy ``quick`` bool).
 Each runner is a set of :class:`~repro.scenarios.spec.Scenario`
 instantiations arranged into the paper's figure layout.
+
+Because every point goes through ``run_scenario``, the runners get
+result-store caching for free as an opt-in: ``REPRO_CACHE=rw`` (or
+``repro run --cache rw``) serves already-measured points from the
+content-addressed store (DESIGN.md §12) — re-rendering a figure after
+an unrelated change costs zero simulations.
 """
 
 from __future__ import annotations

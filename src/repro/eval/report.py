@@ -93,12 +93,22 @@ def render_text(result: ExperimentResult) -> str:
     return "\n".join(out)
 
 
-def save_json(result: ExperimentResult, directory: str | Path) -> Path:
-    """Machine-readable dump of the whole result: ``{exp_id}.json``."""
+def save_json(result: ExperimentResult, directory: str | Path, *,
+              provenance: dict | None = None) -> Path:
+    """Machine-readable dump of the whole result: ``{exp_id}.json``.
+
+    ``provenance`` (seed, code fingerprint — see DESIGN.md §12) is
+    embedded under a top-level key so dumped experiment tables are
+    attributable to the code version that produced them, like stored
+    scenario Results.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{result.exp_id}.json"
-    path.write_text(json.dumps(result.to_dict(), indent=2))
+    payload = result.to_dict()
+    if provenance is not None:
+        payload["provenance"] = provenance
+    path.write_text(json.dumps(payload, indent=2))
     return path
 
 

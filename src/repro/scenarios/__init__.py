@@ -37,8 +37,12 @@ from repro.scenarios.spec import (
     TrafficSpec,
 )
 from repro.scenarios.sweep import (
+    ProgressEvent,
     Sweep,
+    SweepResults,
+    SweepStats,
     load_spec,
+    points_from_data,
     run_sweep,
     save_artifacts,
     sweep,
@@ -51,16 +55,20 @@ __all__ = [
     "LinkFault",
     "MeasureSpec",
     "PortFault",
+    "ProgressEvent",
     "QUICK_WARMUP",
     "QUICK_WINDOW",
     "Result",
     "Scenario",
     "SimulationTimeout",
     "Sweep",
+    "SweepResults",
+    "SweepStats",
     "TopologySpec",
     "TrafficSpec",
     "load_results_json",
     "load_spec",
+    "points_from_data",
     "run_scenario",
     "run_sweep",
     "save_artifacts",

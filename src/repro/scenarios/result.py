@@ -51,6 +51,14 @@ class Result:
     #: recovered counts, retransmissions, drops, recovery latency.
     #: Empty when the scenario had no active FaultSpec.
     faults: dict = field(default_factory=dict)
+    #: Measurement provenance (DESIGN.md §12), stamped by
+    #: ``run_scenario``: ``spec_hash`` (canonical spec JSON, seed
+    #: excluded), ``seed``, and ``code_fingerprint`` — the result
+    #: store's full key, so any serialized Result is attributable to
+    #: the exact code version that produced it.  Deterministic for a
+    #: given (spec, seed, source tree), so it never breaks the
+    #: parallel == serial or cached == fresh bit-identity guarantees.
+    provenance: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return asdict(self)

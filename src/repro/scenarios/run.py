@@ -90,15 +90,47 @@ def run_scenario(scenario: Scenario) -> Result:
 
     Pure function of the scenario (all RNGs derive from
     ``scenario.seed``), so results are reproducible across processes —
-    the property parallel sweeps rely on.
+    the property parallel sweeps and the result store rely on.  Every
+    Result is stamped with its provenance (spec hash, seed, code
+    fingerprint — DESIGN.md §12).
+
+    ``REPRO_CACHE=rw|ro`` consults the default
+    :class:`~repro.store.ResultStore` around the simulation — the
+    opt-in that gives the eval runners (``repro run --cache``), and
+    anything else built directly on ``run_scenario``, result caching
+    without threading a store through every signature.
     """
+    mode = os.environ.get("REPRO_CACHE", "off")
+    if mode not in ("off", "ro", "rw"):
+        raise ValueError(
+            f"REPRO_CACHE must be 'off', 'ro', or 'rw', got {mode!r}")
+    if mode == "off":
+        return _execute(scenario)
+    from repro.store import ResultStore
+
+    store = ResultStore.default()
+    cached = store.get(scenario)
+    if cached is not None:
+        return cached
+    result = _execute(scenario)
+    if mode == "rw":
+        store.put(scenario, result)
+    return result
+
+
+def _execute(scenario: Scenario) -> Result:
+    """Dispatch to the backend runner and stamp provenance."""
+    from repro.store import provenance_for
+
     if scenario.topology.backend == "baseline":
-        return _run_baseline(scenario)
-    if scenario.traffic.kind == "uniform":
-        return _run_uniform(scenario)
-    if scenario.traffic.kind == "synthetic":
-        return _run_synthetic(scenario)
-    return _run_dnn(scenario)
+        result = _run_baseline(scenario)
+    elif scenario.traffic.kind == "uniform":
+        result = _run_uniform(scenario)
+    elif scenario.traffic.kind == "synthetic":
+        result = _run_synthetic(scenario)
+    else:
+        result = _run_dnn(scenario)
+    return replace(result, provenance=provenance_for(scenario))
 
 
 # ----------------------------------------------------------------------

@@ -24,7 +24,9 @@ import json
 import os
 import sys
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 from repro.faults.spec import FaultSpec
 from repro.scenarios.result import (
@@ -138,6 +140,56 @@ def _run_point(sc: Scenario) -> Result:
     return run_scenario(sc)
 
 
+@dataclass(frozen=True)
+class SweepStats:
+    """Per-sweep point accounting: where each point's Result came from.
+
+    ``hits`` were served from the result store without simulating,
+    ``misses`` were freshly simulated (including points that succeeded
+    on the serial retry), ``errors`` failed even the retry and are
+    ``None`` in the results.  ``hits + misses + errors == total``.
+    """
+
+    total: int
+    hits: int = 0
+    misses: int = 0
+    errors: int = 0
+
+    def summary(self) -> str:
+        return (f"{self.hits} hit(s), {self.misses} miss(es), "
+                f"{self.errors} error(s)")
+
+
+class SweepResults(list):
+    """``run_sweep``'s return value: a plain list of Results (``None``
+    for failed points), plus ``.stats`` — hit/miss/error accounting.
+    Compares equal to an ordinary list of the same Results, so
+    serial/parallel/cached bit-identity assertions stay list ==."""
+
+    def __init__(self, results=(), stats: SweepStats | None = None):
+        super().__init__(results)
+        self.stats = stats if stats is not None else SweepStats(len(self))
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One finalized sweep point, delivered to ``run_sweep(on_point=)``.
+
+    ``status`` is ``"hit"`` (served from the store), ``"run"`` (freshly
+    simulated), or ``"error"`` (failed after the retry; ``result`` is
+    None).  ``done`` counts finalized points so far — monotonic, ending
+    at ``total`` — which is all a ``done/total`` progress display (CLI
+    ``--progress``, the service's NDJSON stream) needs.
+    """
+
+    index: int
+    done: int
+    total: int
+    status: str
+    scenario: Scenario
+    result: Result | None
+
+
 def _run_chunk(scs: list[Scenario]) -> list:
     """Run a batch of points inside one worker task.
 
@@ -157,7 +209,10 @@ def _run_chunk(scs: list[Scenario]) -> list:
 
 def run_sweep(points: Sweep | list[Scenario], *, jobs: int = 1,
               chunksize: int | None = None,
-              out: str | Path | None = None) -> list[Result | None]:
+              out: str | Path | None = None,
+              cache: str = "off", store=None,
+              on_point: Callable[[ProgressEvent], None] | None = None,
+              ) -> SweepResults:
     """Run every point; return results in point order.
 
     ``jobs > 1`` fans points out over a process pool.  Each Scenario is
@@ -168,6 +223,23 @@ def run_sweep(points: Sweep | list[Scenario], *, jobs: int = 1,
     busy; it only changes scheduling, never results.  With ``out`` set,
     scenario+result artifacts are written there (``results.json``,
     ``results.csv``).
+
+    ``cache="rw"`` consults a :class:`~repro.store.ResultStore`
+    (``store`` — a ResultStore, a root path, or None for the default
+    store) before simulating: hits skip simulation entirely, misses run
+    and are written back, so growing a grid re-runs only the delta and
+    resubmitting an identical sweep simulates nothing.  ``"ro"`` serves
+    hits but never writes.  Cached results are the bit-identical
+    Results the simulation would have produced, and artifact order is
+    index order either way, so cached artifacts are byte-identical to
+    fresh ones.  ``cache="off"`` (the default) is exactly the uncached
+    behavior.
+
+    ``on_point`` is called once per *finalized* point (cache hit, fresh
+    result, or post-retry failure) with a :class:`ProgressEvent`; the
+    CLI ``--progress`` flag and the scenario service's progress stream
+    are both this hook.  The returned list carries the accounting as
+    ``.stats`` (:class:`SweepStats`).
 
     One bad point does not sink the sweep: a point that raises — or a
     worker that dies, which breaks the whole pool — is retried once,
@@ -181,21 +253,54 @@ def run_sweep(points: Sweep | list[Scenario], *, jobs: int = 1,
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if chunksize is not None and chunksize < 1:
         raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+    from repro.store import CACHE_MODES
+    if cache not in CACHE_MODES:
+        raise ValueError(f"cache must be one of {CACHE_MODES}, got {cache!r}")
+    if cache == "off" and store is not None:
+        raise ValueError("store given but cache='off'; pass cache='rw' "
+                         "or 'ro' to use it")
     results: list[Result | None] = [None] * len(points)
-    first_try_failures: list[int] = []
-    if jobs == 1 or len(points) <= 1:
+    done = 0
+
+    def _emit(i: int, status: str) -> None:
+        nonlocal done
+        done += 1
+        if on_point is not None:
+            on_point(ProgressEvent(index=i, done=done, total=len(points),
+                                   status=status, scenario=points[i],
+                                   result=results[i]))
+
+    hits = 0
+    if cache == "off":
+        pending = list(range(len(points)))
+    else:
+        from repro.store import ResultStore
+
+        store = ResultStore.coerce(store)
+        pending = []
         for i, sc in enumerate(points):
+            hit = store.get(sc)
+            if hit is not None:
+                results[i] = hit
+                hits += 1
+                _emit(i, "hit")
+            else:
+                pending.append(i)
+    first_try_failures: list[int] = []
+    if jobs == 1 or len(pending) <= 1:
+        for i in pending:
             try:
-                results[i] = _run_point(sc)
+                results[i] = _run_point(points[i])
+                _emit(i, "run")
             except Exception:
                 first_try_failures.append(i)
     else:
         if chunksize is None:
             # Aim for ~4 tasks per worker: large enough to amortize
             # per-task IPC, small enough to balance uneven point costs.
-            chunksize = max(1, len(points) // (jobs * 4))
-        chunks = [list(range(i, min(i + chunksize, len(points))))
-                  for i in range(0, len(points), chunksize)]
+            chunksize = max(1, len(pending) // (jobs * 4))
+        chunks = [pending[i:i + chunksize]
+                  for i in range(0, len(pending), chunksize)]
         with ProcessPoolExecutor(max_workers=jobs,
                                  initializer=_worker_init) as pool:
             futures = [pool.submit(_run_chunk, [points[i] for i in idxs])
@@ -212,6 +317,7 @@ def run_sweep(points: Sweep | list[Scenario], *, jobs: int = 1,
                 for i, tag in zip(idxs, tagged):
                     if tag[0] == "ok":
                         results[i] = tag[1]
+                        _emit(i, "run")
                     else:
                         first_try_failures.append(i)
     failed: list[tuple[int, Exception]] = []
@@ -220,17 +326,27 @@ def run_sweep(points: Sweep | list[Scenario], *, jobs: int = 1,
         # worker-environment flakiness) is out of the loop.
         try:
             results[i] = run_scenario(points[i])
+            _emit(i, "run")
         except Exception as exc:
             failed.append((i, exc))
+            _emit(i, "error")
+    if cache == "rw":
+        for i in pending:
+            if results[i] is not None:
+                store.put(points[i], results[i])
+    stats = SweepStats(
+        total=len(points), hits=hits,
+        misses=sum(1 for i in pending if results[i] is not None),
+        errors=len(failed))
     if failed:
         print(f"run_sweep: {len(failed)}/{len(points)} point(s) failed "
-              f"after one retry:", file=sys.stderr)
+              f"after one retry ({stats.summary()}):", file=sys.stderr)
         for i, exc in failed:
             print(f"  [{i}] {points[i].label}{_fault_axes(points[i])}: "
                   f"{type(exc).__name__}: {exc}", file=sys.stderr)
     if out is not None:
         save_artifacts(points, results, out)
-    return results
+    return SweepResults(results, stats)
 
 
 def _fault_axes(sc: Scenario) -> str:
@@ -291,9 +407,19 @@ def load_spec(path: str | Path) -> list[Scenario]:
             return [namespace["SCENARIO"]]
         raise ValueError(
             f"{path} defines none of SWEEP / SCENARIOS / SCENARIO")
-    data = json.loads(path.read_text())
+    return points_from_data(json.loads(path.read_text()))
+
+
+def points_from_data(data) -> list[Scenario]:
+    """Decoded spec JSON → points: a sweep object (``base``/``axes``),
+    a single scenario object, or a list of scenario objects.  The JSON
+    half of :func:`load_spec`, shared with the scenario service (which
+    receives the same shapes over HTTP instead of from a file)."""
     if isinstance(data, list):
         return [Scenario.from_dict(d) for d in data]
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"spec must be a JSON object or list, got {type(data).__name__}")
     if "axes" in data or "base" in data:
         return Sweep.from_dict(data).points()
     return [Scenario.from_dict(data)]

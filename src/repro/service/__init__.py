@@ -1,0 +1,20 @@
+"""Scenario service: a long-running async front end over the sweep
+engine and the result store (DESIGN.md §12).
+
+``python -m repro serve`` starts it; clients POST Scenario/Sweep JSON
+to ``/jobs``, poll ``/jobs/<id>/progress`` for NDJSON per-point
+progress, and fetch completed Results from ``/jobs/<id>/results`` —
+repeat submissions are served from the content-addressed store without
+simulating.
+"""
+
+from repro.service.jobs import JOB_STATUSES, Job, JobManager
+from repro.service.server import ScenarioServer, make_server
+
+__all__ = [
+    "JOB_STATUSES",
+    "Job",
+    "JobManager",
+    "ScenarioServer",
+    "make_server",
+]

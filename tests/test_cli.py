@@ -110,3 +110,90 @@ class TestSweep:
         assert cli.main(["sweep", str(spec), "--jobs", "2",
                          "--chunksize", "2"]) == 0
         assert "2 point(s), jobs=2" in capsys.readouterr().out
+
+    def test_cached_resweep_reports_all_hits(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(self.SPEC)
+        store = str(tmp_path / "store")
+        assert cli.main(["sweep", str(spec), "--cache", "rw",
+                         "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "cache=rw" in out
+        assert "0 hit(s), 2 miss(es), 0 error(s)" in out
+        assert cli.main(["sweep", str(spec), "--cache", "rw",
+                         "--store", store]) == 0
+        assert "2 hit(s), 0 miss(es), 0 error(s)" in capsys.readouterr().out
+
+    def test_progress_flag_prints_per_point_lines(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(self.SPEC)
+        assert cli.main(["sweep", str(spec), "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[1/2] run" in err
+        assert "[2/2] run" in err
+
+    def test_store_without_cache_is_an_error(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(self.SPEC)
+        assert cli.main(["sweep", str(spec),
+                         "--store", str(tmp_path / "s")]) == 2
+        assert "--store requires --cache" in capsys.readouterr().err
+        assert cli.main(["run", "fig2",
+                         "--store", str(tmp_path / "s")]) == 2
+        assert "--store requires --cache" in capsys.readouterr().err
+
+
+class TestCacheCommand:
+    SPEC = TestSweep.SPEC
+
+    def populate(self, tmp_path):
+        spec = tmp_path / "spec.json"
+        spec.write_text(self.SPEC)
+        store = str(tmp_path / "store")
+        assert cli.main(["sweep", str(spec), "--cache", "rw",
+                         "--store", store]) == 0
+        return store
+
+    def test_stats_and_verify_clean(self, tmp_path, capsys):
+        store = self.populate(tmp_path)
+        capsys.readouterr()
+        assert cli.main(["cache", "stats", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "2 entr(ies)" in out
+        assert "current code fingerprint:" in out
+        assert cli.main(["cache", "verify", "--store", store]) == 0
+        assert "2 checked, 2 ok, 0 corrupt" in capsys.readouterr().out
+
+    def test_verify_fails_on_corruption(self, tmp_path, capsys):
+        from repro.store import ResultStore
+
+        store = self.populate(tmp_path)
+        victim = next(ResultStore(store)._entries())
+        victim.write_text("garbage")
+        capsys.readouterr()
+        assert cli.main(["cache", "verify", "--store", store]) == 1
+        captured = capsys.readouterr()
+        assert "1 corrupt" in captured.out
+        assert "corrupt:" in captured.err
+        # gc removes the corrupt entry; verify is clean again.
+        assert cli.main(["cache", "gc", "--store", store]) == 0
+        assert "removed 1 file(s)" in capsys.readouterr().out
+        assert cli.main(["cache", "verify", "--store", store]) == 0
+
+    def test_gc_wipe_empties_the_store(self, tmp_path, capsys):
+        store = self.populate(tmp_path)
+        capsys.readouterr()
+        assert cli.main(["cache", "gc", "--store", store, "--wipe"]) == 0
+        assert "removed 2 file(s)" in capsys.readouterr().out
+        assert cli.main(["cache", "stats", "--store", store]) == 0
+        assert "0 entr(ies)" in capsys.readouterr().out
+
+
+class TestServeParser:
+    def test_serve_args_parse(self):
+        args = cli.build_parser().parse_args(
+            ["serve", "--port", "0", "--jobs", "2", "--cache", "ro",
+             "--store", "/tmp/s", "--verbose"])
+        assert args.command == "serve"
+        assert (args.port, args.jobs, args.cache) == (0, 2, "ro")
+        assert args.store == "/tmp/s" and args.verbose

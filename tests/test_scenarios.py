@@ -22,6 +22,7 @@ from repro.scenarios import (
     run_scenario,
     run_sweep,
     save_artifacts,
+    save_results_json,
     sweep,
 )
 
@@ -308,6 +309,36 @@ class TestArtifacts:
         results = run_sweep(points)
         paths = save_artifacts(points, results, tmp_path / "deep" / "dir")
         assert all(p.exists() for p in paths)
+
+    def test_mixed_list_with_none_placeholders_round_trips(self, tmp_path):
+        """A hardened sweep leaves None at failed points; the JSON
+        artifact keeps the slot (as null) so it stays index-aligned."""
+        sc = Scenario(traffic=TrafficSpec.uniform(0.5, 1000), measure=FAST)
+        ok = run_scenario(sc)
+        mixed = [None, ok, None]
+        path = save_results_json(mixed, tmp_path / "mixed.json")
+        assert load_results_json(path) == mixed
+        # The same list paired with its scenarios round-trips too.
+        path = save_results_json(mixed, tmp_path / "paired.json",
+                                 scenarios=[sc, sc, sc])
+        assert load_results_json(path) == mixed
+
+    def test_result_with_faults_round_trips(self, tmp_path):
+        """Fault-loop reports (DESIGN.md §10) survive serialization,
+        both via Result.to_dict and the sweep artifact."""
+        from repro.scenarios import FaultSpec, LinkFault
+
+        sc = Scenario(
+            traffic=TrafficSpec.uniform(0.5, 1000),
+            measure=MeasureSpec(300, 1500),
+            faults=FaultSpec(links=[LinkFault(src=0, dst=1, start=400,
+                                              duration=200)]))
+        result = run_scenario(sc)
+        assert result.faults  # populated, not the empty default
+        assert Result.from_dict(result.to_dict()) == result
+        path = save_results_json([result, None], tmp_path / "faults.json",
+                                 scenarios=[sc, sc])
+        assert load_results_json(path) == [result, None]
 
 
 class TestSpecFiles:
